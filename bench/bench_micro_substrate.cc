@@ -1,0 +1,91 @@
+// Substrate micro-benchmarks (google-benchmark): how fast the simulator
+// itself runs. These do not reproduce paper results; they keep the
+// simulation engine honest (host-side performance regressions make the
+// table/figure benches painfully slow).
+#include <benchmark/benchmark.h>
+
+#include "src/core/machine.h"
+#include "src/disk/disk_model.h"
+#include "src/workload/workloads.h"
+
+namespace mufs {
+namespace {
+
+void BM_DiskModelAccess(benchmark::State& state) {
+  DiskModel model{DiskGeometry{}};
+  SimTime now = 0;
+  uint32_t blk = 0;
+  for (auto _ : state) {
+    now += model.Access(true, blk, 1, now);
+    blk = (blk + 997) % DiskGeometry{}.total_blocks;
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_DiskModelAccess);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.Schedule(Usec(i), [&count] { ++count; });
+    }
+    state.ResumeTiming();
+    engine.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_CoroutineChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    int result = 0;
+    std::function<Task<int>(int)> rec = [&](int n) -> Task<int> {
+      if (n == 0) {
+        co_return 0;
+      }
+      int sub = co_await rec(n - 1);
+      co_return sub + 1;
+    };
+    auto outer = [&]() -> Task<void> { result = co_await rec(1000); };
+    engine.Spawn(outer(), "chain");
+    engine.Run();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineChain);
+
+void BM_FileCreateSimulated(benchmark::State& state) {
+  // Host cost of simulating one create+write+remove under soft updates.
+  auto scheme = static_cast<Scheme>(state.range(0));
+  for (auto _ : state) {
+    MachineConfig cfg;
+    cfg.scheme = scheme;
+    cfg.collect_traces = false;
+    Machine m(cfg);
+    Proc p = m.MakeProc("u");
+    bool done = false;
+    auto body = [](Machine* m, Proc* p, bool* done) -> Task<void> {
+      co_await m->Boot(*p);
+      (void)co_await m->fs().Mkdir(*p, "/d");
+      (void)co_await CreateRemoveFiles(*m, *p, "/d", 50, 1024);
+      *done = true;
+    };
+    m.engine().Spawn(body(&m, &p, &done), "u");
+    m.engine().RunUntil([&] { return done; });
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_FileCreateSimulated)
+    ->Arg(static_cast<int>(Scheme::kConventional))
+    ->Arg(static_cast<int>(Scheme::kSoftUpdates))
+    ->Arg(static_cast<int>(Scheme::kNoOrder));
+
+}  // namespace
+}  // namespace mufs
+
+BENCHMARK_MAIN();

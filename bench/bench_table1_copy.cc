@@ -1,0 +1,84 @@
+// Table 1: scheme comparison using the 4-user copy benchmark.
+//
+// Columns mirror the paper: elapsed time (average over users), percent of
+// No Order, total user CPU time, system-wide disk requests, and average
+// I/O response time.
+#include "bench/bench_common.h"
+
+namespace mufs {
+namespace {
+
+struct PaperRow {
+  const char* scheme;
+  char alloc_init;
+  double elapsed, percent, cpu;
+  int requests;
+  double resp_ms;
+};
+
+// The paper's Table 1, for shape comparison.
+constexpr PaperRow kPaper[] = {
+    {"Conventional", 'N', 390.7, 123.9, 72.8, 36075, 293.3},
+    {"Conventional", 'Y', 732.3, 232.3, 82.4, 51419, 140.1},
+    {"Scheduler Flag", 'N', 381.3, 120.9, 72.8, 36038, 477.3},
+    {"Scheduler Flag", 'Y', 545.7, 173.1, 90.0, 51028, 2297.0},
+    {"Scheduler Chains", 'N', 375.1, 119.0, 76.0, 36019, 304.1},
+    {"Scheduler Chains", 'Y', 530.6, 168.3, 86.0, 51248, 423.8},
+    {"Soft Updates", 'N', 319.8, 101.4, 69.6, 31840, 368.7},
+    {"Soft Updates", 'Y', 330.9, 104.9, 80.0, 31880, 262.1},
+    {"No Order", 'N', 315.3, 100.0, 68.4, 31574, 304.1},
+};
+
+int Main() {
+  const int kUsers = 4;
+  TreeSpec tree = GenerateTree();
+  printf("Table 1 reproduction: %d-user copy of %zu files / %.1f MB\n", kUsers,
+         tree.files.size(), static_cast<double>(tree.TotalBytes()) / 1e6);
+  PrintRule();
+  printf("%-18s %-5s %12s %10s %10s %10s %12s\n", "Scheme", "Init", "Elapsed(s)", "%NoOrder",
+         "CPU(s)", "DiskReqs", "AvgResp(ms)");
+  PrintRule();
+
+  struct Row {
+    Scheme scheme;
+    bool alloc_init;
+  };
+  std::vector<Row> rows;
+  for (Scheme s : AllSchemes()) {
+    rows.push_back({s, false});
+    if (s != Scheme::kNoOrder) {
+      rows.push_back({s, true});
+    }
+  }
+
+  // Run No Order first to establish the baseline.
+  double no_order_elapsed = 0;
+  std::vector<std::pair<Row, RunMeasurement>> results;
+  for (const Row& row : rows) {
+    RunMeasurement meas = RunCopyBenchmark(BenchConfig(row.scheme, row.alloc_init), kUsers, tree);
+    if (row.scheme == Scheme::kNoOrder) {
+      no_order_elapsed = meas.ElapsedAvgSeconds();
+    }
+    results.emplace_back(row, meas);
+  }
+  for (const auto& [row, meas] : results) {
+    printf("%-18s %-5s %12.1f %10.1f %10.1f %10llu %12.1f\n",
+           std::string(ToString(row.scheme)).c_str(), row.alloc_init ? "Y" : "N",
+           meas.ElapsedAvgSeconds(),
+           no_order_elapsed > 0 ? 100.0 * meas.ElapsedAvgSeconds() / no_order_elapsed : 0.0,
+           meas.cpu_seconds_total, static_cast<unsigned long long>(meas.disk_requests),
+           meas.avg_response_ms);
+  }
+  PrintRule();
+  printf("Paper (NCR 3433 / HP C2447, for shape comparison):\n");
+  for (const PaperRow& r : kPaper) {
+    printf("%-18s %-5c %12.1f %10.1f %10.1f %10d %12.1f\n", r.scheme, r.alloc_init, r.elapsed,
+           r.percent, r.cpu, r.requests, r.resp_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mufs
+
+int main() { return mufs::Main(); }

@@ -1,0 +1,60 @@
+// Table 2: scheme comparison using the 4-user remove benchmark.
+#include "bench/bench_common.h"
+
+namespace mufs {
+namespace {
+
+struct PaperRow {
+  const char* scheme;
+  double elapsed, percent, cpu;
+  int requests;
+  double resp_ms;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Conventional", 80.24, 1050.0, 12.68, 4600, 68.02},
+    {"Scheduler Flag", 24.97, 326.8, 13.64, 4631, 22173.0},
+    {"Scheduler Chains", 31.03, 406.2, 14.80, 4618, 2495.0},
+    {"Soft Updates", 6.71, 87.83, 5.64, 391, 73.53},
+    {"No Order", 7.64, 100.0, 7.44, 278, 84.03},
+};
+
+int Main() {
+  const int kUsers = 4;
+  TreeSpec tree = GenerateTree();
+  printf("Table 2 reproduction: %d-user remove of %zu-file trees\n", kUsers,
+         tree.files.size());
+  PrintRule();
+  printf("%-18s %12s %10s %10s %10s %12s\n", "Scheme", "Elapsed(s)", "%NoOrder", "CPU(s)",
+         "DiskReqs", "AvgResp(ms)");
+  PrintRule();
+
+  double no_order_elapsed = 0;
+  std::vector<std::pair<Scheme, RunMeasurement>> results;
+  for (Scheme s : AllSchemes()) {
+    RunMeasurement meas = RunRemoveBenchmark(BenchConfig(s), kUsers, tree);
+    if (s == Scheme::kNoOrder) {
+      no_order_elapsed = meas.ElapsedAvgSeconds();
+    }
+    results.emplace_back(s, meas);
+  }
+  for (const auto& [s, meas] : results) {
+    printf("%-18s %12.2f %10.1f %10.2f %10llu %12.1f\n", std::string(ToString(s)).c_str(),
+           meas.ElapsedAvgSeconds(),
+           no_order_elapsed > 0 ? 100.0 * meas.ElapsedAvgSeconds() / no_order_elapsed : 0.0,
+           meas.cpu_seconds_total, static_cast<unsigned long long>(meas.disk_requests),
+           meas.avg_response_ms);
+  }
+  PrintRule();
+  printf("Paper:\n");
+  for (const PaperRow& r : kPaper) {
+    printf("%-18s %12.2f %10.1f %10.2f %10d %12.1f\n", r.scheme, r.elapsed, r.percent, r.cpu,
+           r.requests, r.resp_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mufs
+
+int main() { return mufs::Main(); }

@@ -1,0 +1,72 @@
+// Crash lab: demonstrates WHY metadata update ordering exists.
+//
+// Runs the same create/remove/rename churn under "No Order" (delayed
+// writes, no ordering) and under soft updates, crashing both at the same
+// sequence of moments, and shows what fsck finds in each image.
+//
+//   $ ./build/examples/crash_lab
+#include <cstdio>
+#include <string>
+
+#include "src/fsck/crash_harness.h"
+#include "src/workload/workloads.h"
+
+using namespace mufs;  // NOLINT: example brevity.
+
+namespace {
+
+Task<void> Churn(Machine& m, Proc& p) {
+  (void)co_await m.fs().Mkdir(p, "/work");
+  (void)co_await CreateFiles(m, p, "/work", 20, 2 * kBlockSize);
+  for (int i = 0; i < 20; i += 2) {
+    (void)co_await m.fs().Unlink(p, "/work/c" + std::to_string(i));
+  }
+  (void)co_await m.fs().Mkdir(p, "/work2");
+  (void)co_await CreateFiles(m, p, "/work2", 10, kBlockSize);  // Reuse.
+  (void)co_await m.fs().Rename(p, "/work/c1", "/work2/moved");
+}
+
+void RunLab(Scheme scheme) {
+  MachineConfig cfg;
+  cfg.scheme = scheme;
+  cfg.alloc_init = true;
+  cfg.syncer.sweep_seconds = 3;
+  CrashHarness harness(cfg);
+  uint64_t writes = harness.MeasureWrites(Churn);
+  FsckOptions fsck;
+  fsck.check_stale_data = true;
+
+  int bad_states = 0;
+  uint64_t first_bad = 0;
+  std::string first_detail;
+  for (uint64_t w = 1; w <= writes; ++w) {
+    CrashResult r = harness.RunAndCrashAtWrite(Churn, w, fsck);
+    if (!r.report.Clean()) {
+      ++bad_states;
+      if (first_bad == 0) {
+        first_bad = w;
+        first_detail = std::string(ToString(r.report.violations[0].type)) + ": " +
+                       r.report.violations[0].detail;
+      }
+    }
+  }
+  printf("%-14s: %3d of %3llu reachable crash states violate integrity",
+         std::string(ToString(scheme)).c_str(), bad_states,
+         static_cast<unsigned long long>(writes));
+  if (bad_states > 0) {
+    printf("  (first at write %llu: %s)", static_cast<unsigned long long>(first_bad),
+           first_detail.c_str());
+  }
+  printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  printf("Sweeping every reachable on-disk state of a churn workload:\n\n");
+  RunLab(Scheme::kNoOrder);
+  RunLab(Scheme::kConventional);
+  RunLab(Scheme::kSoftUpdates);
+  printf("\nNo Order trades integrity for speed; the ordered schemes never break.\n");
+  return 0;
+}

@@ -1,0 +1,309 @@
+#include "src/cache/buffer_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mufs {
+
+BufferCache::BufferCache(Engine* engine, DiskDriver* driver, CacheConfig config)
+    : engine_(engine),
+      driver_(driver),
+      config_(config),
+      zero_block_(std::make_shared<BlockData>()),
+      capacity_cv_(engine) {
+  zero_block_->fill(0);
+  hooks_ = &default_hooks_;
+}
+
+void BufferCache::Touch(Buf& buf) {
+  if (buf.lru_tick_ != 0) {
+    lru_.erase(buf.lru_tick_);
+  }
+  buf.lru_tick_ = next_tick_++;
+  lru_[buf.lru_tick_] = &buf;
+}
+
+Task<BufRef> BufferCache::GetBuf(uint32_t blkno, bool read_fill) {
+  auto it = buffers_.find(blkno);
+  if (it != buffers_.end()) {
+    BufRef buf = it->second;
+    ++stats_.hits;
+    Touch(*buf);
+    // Wait out an in-progress fill by another process.
+    while (!buf->valid_) {
+      co_await buf->io_cv_.Await();
+    }
+    hooks_->BufferAccessed(*buf);
+    co_return buf;
+  }
+
+  ++stats_.misses;
+  // Insert before any suspension: a second miss for the same block while
+  // we wait must find this buffer (and block on valid_), never create a
+  // duplicate.
+  auto buf = std::make_shared<Buf>(engine_, blkno);
+  buffers_[blkno] = buf;
+  Touch(*buf);
+  co_await EnsureCapacity();
+  if (read_fill) {
+    uint64_t id = driver_->IssueRead(blkno, buf->data_.get());
+    co_await driver_->WaitFor(id);
+  } else {
+    buf->data_->fill(0);
+  }
+  buf->valid_ = true;
+  buf->io_cv_.NotifyAll();
+  hooks_->BufferAccessed(*buf);
+  co_return buf;
+}
+
+Task<BufRef> BufferCache::Bread(uint32_t blkno) { return GetBuf(blkno, /*read_fill=*/true); }
+
+Task<BufRef> BufferCache::Bget(uint32_t blkno) { return GetBuf(blkno, /*read_fill=*/false); }
+
+Task<void> BufferCache::EnsureCapacity() {
+  while (buffers_.size() >= config_.capacity_blocks) {
+    // Scan from coldest: drop a clean, unreferenced, unlocked buffer.
+    Buf* victim = nullptr;
+    std::vector<Buf*> dirty_cold;
+    for (auto& [tick, buf] : lru_) {
+      auto it = buffers_.find(buf->blkno_);
+      assert(it != buffers_.end());
+      if (it->second.use_count() > 1 || buf->io_locked_ || buf->writes_in_flight_ > 0 ||
+          !buf->valid_) {
+        continue;
+      }
+      if (!buf->dirty_) {
+        victim = buf;
+        break;
+      }
+      if (dirty_cold.size() < 32) {
+        dirty_cold.push_back(buf);
+      }
+    }
+    if (victim != nullptr) {
+      ++stats_.evictions;
+      lru_.erase(victim->lru_tick_);
+      buffers_.erase(victim->blkno_);
+      co_return;
+    }
+    // No clean buffer: push a batch of the coldest dirty ones to disk
+    // asynchronously (overlapping their service) and retry once one of
+    // them completes and becomes clean.
+    for (Buf* b : dirty_cold) {
+      if (b->dirty_ && !b->io_locked_ && b->writes_in_flight_ == 0) {
+        IssueWrite(buffers_.at(b->blkno_), OrderingTag{}, /*from_syncer=*/false);
+      }
+    }
+    co_await engine_->Sleep(Msec(1));
+  }
+}
+
+Task<void> BufferCache::BeginUpdate(Buf& buf) {
+  if (buf.io_locked_ && config_.collect_stats) {
+    ++stats_.write_lock_waits;
+  }
+  while (buf.io_locked_) {
+    co_await buf.io_cv_.Await();
+  }
+}
+
+Task<void> BufferCache::BeginRead(Buf& buf) {
+  while (buf.rolled_back_) {
+    co_await buf.io_cv_.Await();
+  }
+}
+
+void BufferCache::MarkDirty(Buf& buf) {
+  assert(buf.valid_);
+  if (!buf.dirty_) {
+    buf.dirty_ = true;
+    ++stats_.delayed_writes;
+  }
+}
+
+void BufferCache::MarkDirty(uint32_t blkno) {
+  auto it = buffers_.find(blkno);
+  if (it != buffers_.end() && it->second->valid_) {
+    MarkDirty(*it->second);
+  }
+}
+
+uint64_t BufferCache::IssueWrite(BufRef buf, OrderingTag tag, bool from_syncer) {
+  (void)from_syncer;
+  assert(buf->valid_);
+  assert(config_.copy_blocks || buf->writes_in_flight_ == 0);
+  buf->writes_in_flight_++;
+  buf->dirty_ = false;
+  buf->syncer_mark_ = false;
+  ++stats_.write_issues;
+  if (!buf->pending_write_deps_.empty()) {
+    tag.deps.insert(tag.deps.end(), buf->pending_write_deps_.begin(),
+                    buf->pending_write_deps_.end());
+    buf->pending_write_deps_.clear();
+  }
+
+  // Dependency hook: may roll back updates in place (setting rolled_back_
+  // via its own bookkeeping is our job below) or supply a substitute
+  // source (indirect blocks' safe copy).
+  std::shared_ptr<const BlockData> source = hooks_->PrepareWrite(*buf);
+  bool used_substitute = source != nullptr;
+
+  std::shared_ptr<const BlockData> io_src;
+  bool made_copy = false;
+  if (used_substitute) {
+    io_src = std::move(source);  // Owned safe copy: no lock needed.
+  } else if (config_.copy_blocks) {
+    // -CB: clone now; the buffer stays modifiable during the I/O.
+    io_src = std::make_shared<BlockData>(*buf->data_);
+    ++stats_.block_copies;
+    ++outstanding_copies_;
+    made_copy = true;
+  } else {
+    io_src = buf->data_;
+    buf->io_locked_ = true;
+  }
+
+  // Keep the buffer alive until the interrupt handler runs.
+  uint64_t id = driver_->IssueWrite(buf->blkno_, {std::move(io_src)}, std::move(tag),
+                                    [this, buf, made_copy] {
+                                      buf->io_locked_ = false;
+                                      buf->writes_in_flight_--;
+                                      if (made_copy) {
+                                        --outstanding_copies_;
+                                        capacity_cv_.NotifyAll();
+                                      }
+                                      hooks_->WriteDone(*buf);
+                                      buf->rolled_back_ = false;
+                                      buf->io_cv_.NotifyAll();
+                                    });
+  buf->last_write_req_ = id;
+  return id;
+}
+
+Task<void> BufferCache::Bwrite(BufRef buf, OrderingTag tag) {
+  ++stats_.sync_writes;
+  while (!config_.copy_blocks && buf->writes_in_flight_ > 0) {
+    co_await buf->io_cv_.Await();
+  }
+  co_await WaitForCopyBudget();
+  uint64_t id = IssueWrite(buf, std::move(tag), false);
+  co_await driver_->WaitFor(id);
+}
+
+Task<uint64_t> BufferCache::Bawrite(BufRef buf, OrderingTag tag) {
+  // Without -CB, only one outstanding write per buffer: a second writer
+  // sleeps until the first completes ("buffer busy", section 3.3). With
+  // -CB each write gets its own copy, so several may be in flight - but
+  // the copies consume memory, bounded by the copy budget.
+  if (!config_.copy_blocks) {
+    if (buf->writes_in_flight_ > 0 && config_.collect_stats) {
+      ++stats_.write_lock_waits;
+    }
+    while (buf->writes_in_flight_ > 0) {
+      co_await buf->io_cv_.Await();
+    }
+  }
+  co_await WaitForCopyBudget();
+  co_return IssueWrite(buf, std::move(tag), false);
+}
+
+Task<void> BufferCache::WaitForCopyBudget() {
+  if (!config_.copy_blocks) {
+    co_return;
+  }
+  if (outstanding_copies_ >= config_.copy_budget_blocks && config_.collect_stats) {
+    ++stats_.copy_budget_waits;
+  }
+  while (outstanding_copies_ >= config_.copy_budget_blocks) {
+    co_await capacity_cv_.Await();
+  }
+}
+
+Task<void> BufferCache::SyncAll() {
+  // Repeat until stable: completion processing (soft updates) can re-dirty
+  // buffers or create new dirty ones (deferred frees).
+  for (int round = 0; round < 200; ++round) {
+    std::vector<BufRef> dirty;
+    for (auto& [blkno, buf] : buffers_) {
+      if (buf->dirty_ && !buf->io_locked_ && buf->writes_in_flight_ == 0) {
+        dirty.push_back(buf);
+      }
+    }
+    if (dirty.empty() && driver_->PendingCount() == 0) {
+      co_return;
+    }
+    for (auto& buf : dirty) {
+      if (buf->dirty_ && !buf->io_locked_ && buf->writes_in_flight_ == 0) {
+        IssueWrite(buf, OrderingTag{}, false);
+      }
+    }
+    co_await driver_->Drain();
+  }
+}
+
+void BufferCache::DropClean() {
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    Buf* buf = it->second.get();
+    if (it->second.use_count() == 1 && buf->valid_ && !buf->dirty_ && !buf->io_locked_) {
+      lru_.erase(buf->lru_tick_);
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t BufferCache::DirtyCount() const {
+  size_t n = 0;
+  for (const auto& [blkno, buf] : buffers_) {
+    if (buf->dirty_) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void BufferCache::SyncerPass(double fraction) {
+  // Phase 1: write out buffers marked on the previous pass.
+  std::vector<BufRef> to_write;
+  for (auto& [blkno, buf] : buffers_) {
+    if (buf->syncer_mark_ && buf->dirty_ && !buf->io_locked_ && buf->writes_in_flight_ == 0) {
+      to_write.push_back(buf);
+    }
+  }
+  // Issued in sweep (hash-table) order, NOT disk order: sorting is the
+  // disk scheduler's job, and pre-sorting here would hide the cost of
+  // restrictive ordering semantics (the paper's figure 1b effect).
+  for (auto& buf : to_write) {
+    if (buf->writes_in_flight_ == 0) {
+      IssueWrite(buf, OrderingTag{}, /*from_syncer=*/true);
+    }
+  }
+
+  // Phase 2: mark the dirty buffers in this pass's window. The window is
+  // a slice of the block-number space, advanced each pass so the whole
+  // cache is covered every 1/fraction passes.
+  std::vector<uint32_t> dirty_blocks;
+  dirty_blocks.reserve(buffers_.size());
+  for (auto& [blkno, buf] : buffers_) {
+    if (buf->dirty_ && !buf->syncer_mark_) {
+      dirty_blocks.push_back(blkno);
+    }
+  }
+  std::sort(dirty_blocks.begin(), dirty_blocks.end());
+  size_t want = static_cast<size_t>(
+      static_cast<double>(config_.capacity_blocks) * fraction + 0.5);
+  // Start after the cursor, wrapping, to emulate the rotating sweep.
+  auto start = std::upper_bound(dirty_blocks.begin(), dirty_blocks.end(), syncer_cursor_);
+  size_t marked = 0;
+  for (size_t i = 0; i < dirty_blocks.size() && marked < want; ++i) {
+    size_t idx = (static_cast<size_t>(start - dirty_blocks.begin()) + i) % dirty_blocks.size();
+    uint32_t blkno = dirty_blocks[idx];
+    buffers_.at(blkno)->syncer_mark_ = true;
+    syncer_cursor_ = blkno;
+    ++marked;
+  }
+}
+
+}  // namespace mufs

@@ -1,0 +1,241 @@
+// Buffer cache: the in-memory block layer between the file system and
+// the disk driver.
+//
+// Mirrors the three UNIX write disciplines the paper builds on
+// (footnote 2):
+//   - Bwrite   : synchronous - issue now, wait for completion;
+//   - Bawrite  : asynchronous - issue now, do not wait;
+//   - MarkDirty: delayed - leave dirty for the syncer daemon.
+//
+// Write locking (paper section 3.3): while a write request sourced from a
+// buffer is outstanding, the buffer is write-locked; a process wanting to
+// modify it must wait (BeginUpdate). With the block-copy option (-CB) the
+// cache clones the bytes at issue time and hands the clone to the driver,
+// so the buffer is never locked.
+//
+// Dependency hooks: soft updates plugs in a DepHooks implementation. The
+// cache calls PrepareWrite just before capturing a buffer's bytes for a
+// write (so undone updates can be rolled back / an alternate "safe" source
+// substituted), WriteDone at completion (interrupt level), and
+// BufferAccessed when a block enters the cache or is re-referenced (so
+// lazily undone updates can be re-applied).
+#ifndef MUFS_SRC_CACHE_BUFFER_CACHE_H_
+#define MUFS_SRC_CACHE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/disk/disk_image.h"
+#include "src/driver/disk_driver.h"
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace mufs {
+
+class BufferCache;
+
+// One cached disk block.
+class Buf {
+ public:
+  Buf(Engine* engine, uint32_t blkno)
+      : blkno_(blkno), data_(std::make_shared<BlockData>()), io_cv_(engine) {}
+  Buf(const Buf&) = delete;
+  Buf& operator=(const Buf&) = delete;
+
+  uint32_t blkno() const { return blkno_; }
+  BlockData& data() { return *data_; }
+  const BlockData& data() const { return *data_; }
+
+  bool dirty() const { return dirty_; }
+  bool io_locked() const { return io_locked_; }
+  bool write_pending() const { return writes_in_flight_ > 0; }
+  bool rolled_back() const { return rolled_back_; }
+  bool valid() const { return valid_; }
+
+  // Set by DepHooks::PrepareWrite when it undoes updates in the buffer for
+  // the duration of the write: readers block until the I/O completes and
+  // the updates are restored.
+  void MarkRolledBack() { rolled_back_ = true; }
+
+  // Typed accessors for structures stored at an offset in the block.
+  template <typename T>
+  T* At(size_t offset) {
+    return reinterpret_cast<T*>(data_->data() + offset);
+  }
+  template <typename T>
+  const T* At(size_t offset) const {
+    return reinterpret_cast<const T*>(data_->data() + offset);
+  }
+
+ private:
+  friend class BufferCache;
+  uint32_t blkno_;
+  std::shared_ptr<BlockData> data_;
+  bool valid_ = false;        // Contents populated (read done or new block).
+  bool dirty_ = false;        // Needs writeback (delayed write pending).
+  bool io_locked_ = false;    // Outstanding write sourced from data_.
+  int writes_in_flight_ = 0;  // Outstanding writes of this buffer. At
+                              // most one without -CB (a second writer
+                              // sleeps, "buffer busy"); -CB permits
+                              // several, each sourced from its own copy.
+  bool rolled_back_ = false;  // In-flight write undid some updates: block
+                              // reads until it completes.
+  bool syncer_mark_ = false;  // Marked on the previous syncer pass.
+  uint64_t last_write_req_ = 0;  // Driver id of the newest write of this buf.
+  std::vector<uint64_t> pending_write_deps_;  // Chain deps for the next write.
+  uint64_t lru_tick_ = 0;
+  CondVar io_cv_;  // Signalled when io_locked_/valid_ changes.
+};
+
+using BufRef = std::shared_ptr<Buf>;
+
+// Dependency hook points (implemented by soft updates; default: no-ops).
+class DepHooks {
+ public:
+  virtual ~DepHooks() = default;
+  // Called before a write of `buf` is issued. May roll back updates inside
+  // buf.data() or return an alternate source block (e.g. an indirect
+  // block's "safe copy"). Returning nullptr means "use buf's own data".
+  virtual std::shared_ptr<const BlockData> PrepareWrite(Buf& buf) {
+    (void)buf;
+    return nullptr;
+  }
+  // Interrupt-level completion processing. Must not block.
+  virtual void WriteDone(Buf& buf) { (void)buf; }
+  // Called when a block is (re)accessed through Bread/Bget, after a read
+  // fill if one was needed. Lets undone updates be re-applied.
+  virtual void BufferAccessed(Buf& buf) { (void)buf; }
+};
+
+struct CacheConfig {
+  size_t capacity_blocks = 8192;  // 32 MB of 4 KB buffers.
+  bool copy_blocks = false;       // -CB: copy at issue instead of locking.
+  // Memory budget for outstanding -CB copies. Queued ordered writes hold
+  // their copies until serviced; when activity exceeds this budget,
+  // writers stall (the paper's "system activity exceeds the available
+  // memory" regime, section 3.1/3.3).
+  size_t copy_budget_blocks = 2048;
+  bool collect_stats = true;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t delayed_writes = 0;   // MarkDirty calls.
+  uint64_t write_issues = 0;     // Device writes issued (sync+async+syncer).
+  uint64_t sync_writes = 0;
+  uint64_t write_lock_waits = 0;  // Times BeginUpdate had to wait.
+  uint64_t block_copies = 0;      // -CB clones made.
+  uint64_t copy_budget_waits = 0;  // Times Bawrite stalled on copy memory.
+  uint64_t evictions = 0;
+};
+
+class BufferCache {
+ public:
+  BufferCache(Engine* engine, DiskDriver* driver, CacheConfig config);
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  void SetDepHooks(DepHooks* hooks) { hooks_ = hooks; }
+  Engine* engine() const { return engine_; }
+  DiskDriver* driver() const { return driver_; }
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+
+  // Returns the block, reading it from disk on a miss.
+  Task<BufRef> Bread(uint32_t blkno);
+
+  // Returns the block without reading: contents start zeroed. For newly
+  // allocated blocks whose prior content is irrelevant.
+  Task<BufRef> Bget(uint32_t blkno);
+
+  // Waits until the buffer may be modified (write lock released). With
+  // -CB this never waits.
+  Task<void> BeginUpdate(Buf& buf);
+
+  // Waits until the buffer's contents are readable (not mid-write with
+  // rolled-back updates).
+  Task<void> BeginRead(Buf& buf);
+
+  // Delayed write: mark dirty; the syncer daemon writes it later.
+  void MarkDirty(Buf& buf);
+  void MarkDirty(uint32_t blkno);  // No-op if the block is not cached.
+
+  // Synchronous write: issue and wait for completion. Waits first if a
+  // previous write of this buffer is still outstanding.
+  Task<void> Bwrite(BufRef buf, OrderingTag tag = {});
+
+  // Asynchronous write: issue with ordering tag, return the request id.
+  // Like UNIX bawrite, sleeps while a previous write of the same buffer
+  // is outstanding (one write per buffer at a time).
+  Task<uint64_t> Bawrite(BufRef buf, OrderingTag tag = {});
+
+  // Driver request id of the most recent write issued for this buffer
+  // (0 if never written). Used by the chains policy to build dependency
+  // lists.
+  uint64_t LastWriteRequest(const Buf& buf) const { return buf.last_write_req_; }
+
+  // Records that the *next* write of `buf` (whoever issues it: policy,
+  // syncer, eviction) must carry a scheduler-chain dependency on request
+  // `req_id`. Accumulates until consumed by the next write issue.
+  void AddWriteDep(Buf& buf, uint64_t req_id) { buf.pending_write_deps_.push_back(req_id); }
+
+  // Writes every dirty buffer (async) and waits for the device queue to
+  // drain. Used by unmount/fsync-like paths and test shutdown.
+  Task<void> SyncAll();
+
+  // Evicts every clean, unlocked, unreferenced buffer (simulates a cold
+  // cache after reboot, used between benchmark setup and timed phases).
+  void DropClean();
+
+  // Number of dirty buffers (tests / syncer accounting).
+  size_t DirtyCount() const;
+  size_t CachedCount() const { return buffers_.size(); }
+  bool Cached(uint32_t blkno) const { return buffers_.contains(blkno); }
+
+  // A permanently zero-filled block, reserved at "boot" exactly like the
+  // paper's allocation-initialization source (section 3.3): initializing
+  // writes can use it as the I/O source with no locking and no copy.
+  std::shared_ptr<const BlockData> ZeroBlock() const { return zero_block_; }
+
+  // --- Syncer daemon interface -------------------------------------
+  // One incremental pass (SVR4 MP style): issue async writes for buffers
+  // marked on the previous pass that are still dirty; then mark the dirty
+  // buffers in the current window. `fraction` of the cache is examined.
+  void SyncerPass(double fraction);
+
+ private:
+  friend class SyncerDaemon;
+
+  Task<BufRef> GetBuf(uint32_t blkno, bool read_fill);
+  Task<void> EnsureCapacity();
+  Task<void> WaitForCopyBudget();
+  uint64_t IssueWrite(BufRef buf, OrderingTag tag, bool from_syncer);
+  void Touch(Buf& buf);
+
+  Engine* engine_;
+  DiskDriver* driver_;
+  CacheConfig config_;
+  DepHooks* hooks_ = nullptr;
+  CacheStats stats_;
+
+  std::unordered_map<uint32_t, BufRef> buffers_;
+  std::map<uint64_t, Buf*> lru_;  // tick -> buffer, oldest first.
+  uint64_t next_tick_ = 1;
+  uint32_t syncer_cursor_ = 0;  // Block-number window cursor for passes.
+  std::vector<uint32_t> syncer_window_;
+  std::shared_ptr<BlockData> zero_block_;
+  size_t outstanding_copies_ = 0;
+  CondVar capacity_cv_;
+
+  DepHooks default_hooks_;
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_CACHE_BUFFER_CACHE_H_

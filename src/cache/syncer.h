@@ -1,0 +1,66 @@
+// The syncer daemon (paper section 2).
+//
+// A background process that wakes once per interval (1 s), first services
+// the workitem queue (section 4.2: deferred soft-updates tasks that may
+// block, so they cannot run at interrupt level), then performs one
+// incremental buffer-cache pass: write out what was marked last pass, mark
+// this pass's window. This smooths write-back compared to the
+// conventional bursty "30 second sync".
+#ifndef MUFS_SRC_CACHE_SYNCER_H_
+#define MUFS_SRC_CACHE_SYNCER_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/cache/buffer_cache.h"
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+
+namespace mufs {
+
+struct SyncerConfig {
+  SimDuration interval = Sec(1);
+  // Full cache coverage every `sweep_seconds` worth of passes.
+  int sweep_seconds = 30;
+};
+
+class SyncerDaemon {
+ public:
+  SyncerDaemon(Engine* engine, BufferCache* cache, SyncerConfig config = {});
+  SyncerDaemon(const SyncerDaemon&) = delete;
+  SyncerDaemon& operator=(const SyncerDaemon&) = delete;
+
+  void Start();
+  void Stop() { running_ = false; }
+  bool Running() const { return running_; }
+
+  // Appends a deferred task; serviced (awaited one at a time, FIFO) at the
+  // next wakeup, before the cache pass.
+  void EnqueueWork(std::function<Task<void>()> work);
+  size_t PendingWork() const { return work_queue_.size(); }
+
+  // Runs queued workitems and one cache pass immediately (used by fsync
+  // paths and shutdown). Repeats while work remains, since workitems can
+  // enqueue more work.
+  Task<void> DrainWork();
+
+  uint64_t PassesRun() const { return passes_; }
+  uint64_t WorkitemsRun() const { return workitems_; }
+
+ private:
+  Task<void> Loop();
+  Task<void> RunWorkQueue();
+
+  Engine* engine_;
+  BufferCache* cache_;
+  SyncerConfig config_;
+  bool running_ = false;
+  bool started_ = false;
+  std::deque<std::function<Task<void>()>> work_queue_;
+  uint64_t passes_ = 0;
+  uint64_t workitems_ = 0;
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_CACHE_SYNCER_H_

@@ -1,0 +1,70 @@
+#include "src/disk/disk_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mufs {
+
+SimDuration DiskModel::SeekTime(uint32_t from_cyl, uint32_t to_cyl) const {
+  if (from_cyl == to_cyl) {
+    return 0;
+  }
+  double d = std::abs(static_cast<double>(from_cyl) - static_cast<double>(to_cyl));
+  double ms = geom_.seek_fixed_ms + geom_.seek_sqrt_ms * std::sqrt(d) + geom_.seek_linear_ms * d;
+  return MsecF(ms);
+}
+
+SimDuration DiskModel::RotationalDelay(uint32_t blkno, SimTime t) const {
+  // Platter phase in block-angle units: which block-start angle is under
+  // the head at absolute time t. The platter has been spinning since t=0.
+  SimDuration per_block = geom_.transfer_per_block();
+  SimDuration rev = geom_.rotation_time;
+  SimTime into_rev = t % rev;
+  uint32_t target_angle = blkno % geom_.blocks_per_track;
+  SimTime target_offset = static_cast<SimTime>(target_angle) * per_block;
+  SimTime delay = target_offset - into_rev;
+  if (delay < 0) {
+    delay += rev;
+  }
+  return delay;
+}
+
+SimDuration DiskModel::Access(bool is_write, uint32_t blkno, uint32_t count, SimTime start) {
+  count = std::max(count, 1u);
+  // Reads wholly inside the prefetch window: bus transfer only.
+  if (!is_write && CacheHit(blkno, count)) {
+    SimDuration t = geom_.command_overhead +
+                    geom_.cache_hit_per_block * static_cast<SimDuration>(count);
+    // The drive keeps prefetching ahead of a sequential reader.
+    cache_hi_ = std::min<uint64_t>(static_cast<uint64_t>(geom_.total_blocks),
+                                   static_cast<uint64_t>(blkno + count) + geom_.prefetch_blocks);
+    return t;
+  }
+
+  SimTime t = start + geom_.command_overhead;
+  uint32_t target_cyl = CylinderOf(blkno);
+  t += SeekTime(head_cylinder_, target_cyl);
+  t += RotationalDelay(blkno, t);
+  // Media transfer; crossing a track boundary costs a head/track switch we
+  // fold into the per-block rate (blocks on a cylinder are consecutive).
+  t += geom_.transfer_per_block() * static_cast<SimDuration>(count);
+  // Crossing into further cylinders adds single-cylinder seeks.
+  uint32_t end_cyl = CylinderOf(blkno + count - 1);
+  if (end_cyl > target_cyl) {
+    t += SeekTime(0, 1) * static_cast<SimDuration>(end_cyl - target_cyl);
+  }
+  head_cylinder_ = end_cyl;
+
+  if (is_write) {
+    // Write-through drives invalidate overlapping cache content; keeping
+    // it simple, any write drops the read-ahead window.
+    cache_lo_ = cache_hi_ = 0;
+  } else {
+    cache_lo_ = blkno;
+    cache_hi_ = std::min<uint64_t>(static_cast<uint64_t>(geom_.total_blocks),
+                                   static_cast<uint64_t>(blkno + count) + geom_.prefetch_blocks);
+  }
+  return t - start;
+}
+
+}  // namespace mufs

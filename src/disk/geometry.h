@@ -1,0 +1,56 @@
+// Disk geometry and timing parameters.
+//
+// Defaults approximate the HP C2447 used in the paper: a 1 GB, 3.5-inch,
+// 5400 RPM SCSI drive (HP part 5960-8346 technical reference). The model
+// is parametric so tests and ablation benches can explore other disks.
+#ifndef MUFS_SRC_DISK_GEOMETRY_H_
+#define MUFS_SRC_DISK_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace mufs {
+
+// The device is addressed in file-system-sized blocks (4 KB). All geometry
+// is expressed in those units.
+constexpr uint32_t kBlockSize = 4096;
+
+struct DiskGeometry {
+  // Capacity: 262144 x 4 KB = 1 GB.
+  uint32_t total_blocks = 262144;
+  // 8 blocks (32 KB) per track, 16 tracks per cylinder -> 128 blocks
+  // (512 KB) per cylinder, 2048 cylinders.
+  uint32_t blocks_per_track = 8;
+  uint32_t tracks_per_cylinder = 16;
+
+  // 5400 RPM -> 11.11 ms per revolution.
+  SimDuration rotation_time = UsecF(11111.1);
+
+  // Seek model: fixed + sqrt + linear terms, in milliseconds over cylinder
+  // distance. Tuned so single-cylinder ~2.4 ms, average (1/3 stroke)
+  // ~10.9 ms, full stroke ~20 ms, matching the C2447's published figures.
+  double seek_fixed_ms = 2.2;
+  double seek_sqrt_ms = 0.24;
+  double seek_linear_ms = 0.0035;
+
+  // Fixed per-command controller/SCSI overhead.
+  SimDuration command_overhead = UsecF(700.0);
+
+  // On-board cache: sequential prefetch depth in blocks (two tracks), and
+  // the SCSI bus transfer time per block on a cache hit (10 MB/s bus).
+  uint32_t prefetch_blocks = 16;
+  SimDuration cache_hit_per_block = UsecF(410.0);
+
+  uint32_t blocks_per_cylinder() const { return blocks_per_track * tracks_per_cylinder; }
+  uint32_t cylinders() const { return total_blocks / blocks_per_cylinder(); }
+  // Media-rate transfer time for one block: one track passes under the head
+  // per revolution.
+  SimDuration transfer_per_block() const {
+    return rotation_time / static_cast<SimDuration>(blocks_per_track);
+  }
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_DISK_GEOMETRY_H_

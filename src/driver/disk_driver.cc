@@ -1,0 +1,344 @@
+#include "src/driver/disk_driver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mufs {
+
+namespace {
+
+constexpr uint32_t kMaxMergedBlocks = 16;  // 64 KB max device transfer.
+
+}  // namespace
+
+DiskDriver::DiskDriver(Engine* engine, DiskModel* model, DiskImage* image, DriverConfig config)
+    : engine_(engine),
+      model_(model),
+      image_(image),
+      config_(config),
+      work_available_(engine),
+      queue_empty_(engine) {
+  service_proc_ = engine_->Spawn(ServiceLoop(), "disk-driver");
+}
+
+DiskDriver::~DiskDriver() { stopping_ = true; }
+
+uint64_t DiskDriver::IssueWrite(uint32_t blkno, std::vector<std::shared_ptr<const BlockData>> data,
+                                OrderingTag tag, std::function<void()> isr) {
+  assert(!data.empty());
+  auto req = std::make_unique<Request>();
+  req->dir = IoDir::kWrite;
+  req->blkno = blkno;
+  req->count = static_cast<uint32_t>(data.size());
+  req->flag = tag.flag;
+  req->deps = std::move(tag.deps);
+  req->data = std::move(data);
+  return Enqueue(std::move(req), std::move(isr));
+}
+
+uint64_t DiskDriver::IssueRead(uint32_t blkno, BlockData* out, std::function<void()> isr) {
+  auto req = std::make_unique<Request>();
+  req->dir = IoDir::kRead;
+  req->blkno = blkno;
+  req->count = 1;
+  req->read_out = out;
+  return Enqueue(std::move(req), std::move(isr));
+}
+
+uint64_t DiskDriver::Enqueue(std::unique_ptr<Request> req, std::function<void()> isr) {
+  uint64_t id = next_id_++;
+  req->ids.push_back(id);
+  req->issue_index = next_issue_index_++;
+  req->issue_time = engine_->Now();
+  if (isr) {
+    req->isrs.push_back(std::move(isr));
+  }
+  if (req->flag) {
+    flagged_indices_.push_back(req->issue_index);
+  }
+  ++total_requests_;
+
+  if (req->dir == IoDir::kWrite && TryMerge(req.get())) {
+    ++merged_requests_;
+  } else {
+    IndexRequest(*req);
+    queue_.push_back(std::move(req));
+  }
+  Kick();
+  return id;
+}
+
+void DiskDriver::IndexRequest(const Request& r) {
+  pending_indices_.insert(r.issue_index);
+  if (r.flag) {
+    pending_flagged_indices_.insert(r.issue_index);
+  }
+  if (r.dir == IoDir::kWrite) {
+    for (uint32_t b = r.blkno; b < r.blkno + r.count; ++b) {
+      pending_writes_by_block_[b].insert(r.issue_index);
+    }
+  }
+}
+
+void DiskDriver::UnindexRequest(const Request& r) {
+  pending_indices_.erase(r.issue_index);
+  pending_flagged_indices_.erase(r.issue_index);
+  if (r.dir == IoDir::kWrite) {
+    for (uint32_t b = r.blkno; b < r.blkno + r.count; ++b) {
+      auto it = pending_writes_by_block_.find(b);
+      if (it != pending_writes_by_block_.end()) {
+        it->second.erase(r.issue_index);
+        if (it->second.empty()) {
+          pending_writes_by_block_.erase(it);
+        }
+      }
+    }
+  }
+}
+
+bool DiskDriver::TryMerge(Request* incoming) {
+  // Sequential concatenation (paper section 2): only with the most
+  // recently issued pending request, so no request is reordered past a
+  // request issued between the two, which keeps every flag semantics and
+  // chain dependency intact.
+  if (queue_.empty() || incoming->flag) {
+    return false;
+  }
+  Request* tail = queue_.back().get();
+  if (tail == in_service_ || tail->dir != IoDir::kWrite || tail->flag) {
+    return false;
+  }
+  if (tail->count + incoming->count > kMaxMergedBlocks) {
+    return false;
+  }
+  // A dependency on a request merged into the same device transfer would
+  // deadlock; keep them separate.
+  for (uint64_t dep : incoming->deps) {
+    if (std::find(tail->ids.begin(), tail->ids.end(), dep) != tail->ids.end()) {
+      return false;
+    }
+  }
+  if (tail->blkno + tail->count == incoming->blkno) {
+    // Append.
+    UnindexRequest(*tail);
+    tail->data.insert(tail->data.end(), incoming->data.begin(), incoming->data.end());
+  } else if (incoming->blkno + incoming->count == tail->blkno) {
+    // Prepend.
+    UnindexRequest(*tail);
+    tail->data.insert(tail->data.begin(), incoming->data.begin(), incoming->data.end());
+    tail->blkno = incoming->blkno;
+  } else {
+    return false;
+  }
+  tail->count += incoming->count;
+  tail->ids.insert(tail->ids.end(), incoming->ids.begin(), incoming->ids.end());
+  tail->deps.insert(tail->deps.end(), incoming->deps.begin(), incoming->deps.end());
+  tail->isrs.insert(tail->isrs.end(), std::make_move_iterator(incoming->isrs.begin()),
+                    std::make_move_iterator(incoming->isrs.end()));
+  // Adopt the newer issue index: eligibility constraints only grow, which
+  // is always safe (delaying a write never violates ordering).
+  tail->issue_index = incoming->issue_index;
+  IndexRequest(*tail);
+  return true;
+}
+
+bool DiskDriver::ConflictsWithEarlierWrite(const Request& r) const {
+  // A pending (or in-service) write of any overlapping block with an
+  // earlier issue index. Per-block index keeps this O(count * log n).
+  for (uint32_t b = r.blkno; b < r.blkno + r.count; ++b) {
+    auto it = pending_writes_by_block_.find(b);
+    if (it != pending_writes_by_block_.end() && !it->second.empty() &&
+        *it->second.begin() < r.issue_index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DiskDriver::Eligible(const Request& r) const {
+  // Device-level invariant independent of the ordering scheme: two writes
+  // of overlapping ranges must complete in issue order, or stale data
+  // could land last.
+  if (r.dir == IoDir::kWrite && ConflictsWithEarlierWrite(r)) {
+    return false;
+  }
+  switch (config_.mode) {
+    case OrderingMode::kNone:
+      return true;
+
+    case OrderingMode::kChains: {
+      for (uint64_t dep : r.deps) {
+        if (!completed_.contains(dep)) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    case OrderingMode::kFlag: {
+      if (r.dir == IoDir::kRead && config_.reads_bypass) {
+        return !ConflictsWithEarlierWrite(r);
+      }
+      // O(log n) checks against the incrementally maintained index sets.
+      // A request's own index never trips a strict `< r.issue_index`
+      // comparison, so no self-exclusion is needed.
+      auto flagged_before_me = [&] {
+        return !pending_flagged_indices_.empty() &&
+               *pending_flagged_indices_.begin() < r.issue_index;
+      };
+      switch (config_.semantics) {
+        case FlagSemantics::kPart:
+          // Wait only for pending flagged requests issued before us.
+          return !flagged_before_me();
+        case FlagSemantics::kBack: {
+          // Wait for everything issued at or before the last flagged
+          // request that was issued before us (even if that flagged
+          // request itself already completed).
+          auto it = std::lower_bound(flagged_indices_.begin(), flagged_indices_.end(),
+                                     r.issue_index);
+          if (it == flagged_indices_.begin()) {
+            return true;
+          }
+          uint64_t m = *std::prev(it);
+          return pending_indices_.empty() || *pending_indices_.begin() > m;
+        }
+        case FlagSemantics::kFull: {
+          if (flagged_before_me()) {
+            return false;
+          }
+          if (r.flag && !pending_indices_.empty() &&
+              *pending_indices_.begin() < r.issue_index) {
+            return false;
+          }
+          return true;
+        }
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+DiskDriver::Request* DiskDriver::PickNext() {
+  // C-LOOK: smallest eligible block number at or beyond the scan origin;
+  // wrap to the smallest eligible otherwise.
+  Request* best_forward = nullptr;
+  Request* best_wrap = nullptr;
+  for (const auto& q : queue_) {
+    if (!Eligible(*q)) {
+      continue;
+    }
+    if (q->blkno >= scan_from_) {
+      if (best_forward == nullptr || q->blkno < best_forward->blkno) {
+        best_forward = q.get();
+      }
+    } else if (best_wrap == nullptr || q->blkno < best_wrap->blkno) {
+      best_wrap = q.get();
+    }
+  }
+  return best_forward != nullptr ? best_forward : best_wrap;
+}
+
+Task<void> DiskDriver::ServiceLoop() {
+  while (!stopping_) {
+    Request* r = PickNext();
+    if (r == nullptr) {
+      if (queue_.empty()) {
+        queue_empty_.NotifyAll();
+      }
+      co_await work_available_.Await();
+      continue;
+    }
+    // Detach from the queue and service.
+    std::unique_ptr<Request> owned;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->get() == r) {
+        owned = std::move(*it);
+        queue_.erase(it);
+        break;
+      }
+    }
+    in_service_ = r;
+    SimTime service_start = engine_->Now();
+    SimDuration dur =
+        model_->Access(r->dir == IoDir::kWrite, r->blkno, r->count, service_start);
+    co_await engine_->Sleep(dur);
+    scan_from_ = r->blkno + r->count;
+    if (config_.collect_traces) {
+      RequestTrace t;
+      t.id = r->ids.front();
+      t.dir = r->dir;
+      t.blkno = r->blkno;
+      t.count = r->count;
+      t.flagged = r->flag;
+      t.issue_time = r->issue_time;
+      t.service_start = service_start;
+      t.complete_time = engine_->Now();
+      traces_.push_back(t);
+    }
+    Complete(r);
+    in_service_ = nullptr;
+  }
+}
+
+void DiskDriver::Complete(Request* req) {
+  if (req->dir == IoDir::kWrite) {
+    for (uint32_t i = 0; i < req->count; ++i) {
+      image_->Write(req->blkno + i, *req->data[i], engine_->Now());
+    }
+  } else {
+    image_->Read(req->blkno, req->read_out);
+  }
+  UnindexRequest(*req);
+  for (uint64_t id : req->ids) {
+    completed_.insert(id);
+    auto it = waiters_.find(id);
+    if (it != waiters_.end()) {
+      it->second->Set();
+      waiters_.erase(it);
+    }
+  }
+  // Interrupt-level completion processing (must not block).
+  for (auto& isr : req->isrs) {
+    isr();
+  }
+  PruneFlaggedIndices();
+}
+
+void DiskDriver::PruneFlaggedIndices() {
+  // Flagged indices only matter while some request issued at or after
+  // them is still pending; drop entries below the oldest pending index.
+  uint64_t oldest = pending_indices_.empty() ? next_issue_index_ : *pending_indices_.begin();
+  auto it = std::lower_bound(flagged_indices_.begin(), flagged_indices_.end(), oldest);
+  flagged_indices_.erase(flagged_indices_.begin(), it);
+}
+
+void DiskDriver::Kick() { work_available_.NotifyAll(); }
+
+Task<void> DiskDriver::WaitFor(uint64_t id) {
+  if (completed_.contains(id)) {
+    co_return;
+  }
+  auto it = waiters_.find(id);
+  if (it == waiters_.end()) {
+    it = waiters_.emplace(id, std::make_unique<OneShotEvent>(engine_)).first;
+  }
+  co_await it->second->Wait();
+}
+
+Task<void> DiskDriver::Drain() {
+  while (!queue_.empty() || in_service_ != nullptr) {
+    co_await queue_empty_.Await();
+  }
+}
+
+bool DiskDriver::HasPendingWrite(uint32_t blkno, uint32_t count) const {
+  for (uint32_t b = blkno; b < blkno + count; ++b) {
+    if (pending_writes_by_block_.contains(b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mufs

@@ -1,0 +1,160 @@
+// Device driver: request queue, scheduling and ordering enforcement.
+//
+// This is the "disk scheduler" of the paper's section 3. The file system
+// (or buffer cache) issues asynchronous requests; the driver decides
+// which pending request to service next, subject to:
+//
+//   - C-LOOK positional scheduling over block number among *eligible*
+//     requests (one request outstanding at the disk; the paper disables
+//     command queueing);
+//   - sequential request concatenation at enqueue (section 2);
+//   - the configured ordering discipline:
+//       kNone    - no constraints (Conventional relies on synchronous
+//                  waiting; No Order / Ignore simply don't care);
+//       kFlag    - one-bit ordering flag with Full/Back/Part semantics,
+//                  optionally letting non-conflicting reads bypass (-NR);
+//       kChains  - explicit per-request dependency lists.
+//
+// Flag semantics (section 3.1), where "earlier" is issue order:
+//   Full: a flagged request F may start only when every earlier request
+//         has completed, and no later request may start before F.
+//   Back: a request R may start only if, for every flagged F issued
+//         before R, every request issued at or before F has completed.
+//         (F itself reorders freely with earlier non-flagged requests.)
+//   Part: R may start only when every flagged request issued before R
+//         has completed. (Earlier non-flagged requests are free.)
+//   -NR:  a read may bypass any of the above provided it does not
+//         conflict (overlap) with a pending earlier write.
+#ifndef MUFS_SRC_DRIVER_DISK_DRIVER_H_
+#define MUFS_SRC_DRIVER_DISK_DRIVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/disk/disk_image.h"
+#include "src/disk/disk_model.h"
+#include "src/driver/request.h"
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace mufs {
+
+enum class OrderingMode : uint8_t { kNone, kFlag, kChains };
+enum class FlagSemantics : uint8_t { kFull, kBack, kPart };
+
+struct DriverConfig {
+  OrderingMode mode = OrderingMode::kNone;
+  FlagSemantics semantics = FlagSemantics::kPart;
+  bool reads_bypass = false;  // -NR
+  bool collect_traces = true;
+};
+
+class DiskDriver {
+ public:
+  DiskDriver(Engine* engine, DiskModel* model, DiskImage* image, DriverConfig config);
+  DiskDriver(const DiskDriver&) = delete;
+  DiskDriver& operator=(const DiskDriver&) = delete;
+  ~DiskDriver();
+
+  // Issues an asynchronous write of `data.size()` consecutive blocks
+  // starting at `blkno`. Returns the request id. `isr` (optional) runs at
+  // completion, interrupt-level: it must not block.
+  uint64_t IssueWrite(uint32_t blkno, std::vector<std::shared_ptr<const BlockData>> data,
+                      OrderingTag tag = {}, std::function<void()> isr = nullptr);
+
+  // Issues an asynchronous single-block read into `out` (caller keeps the
+  // destination alive and unread until completion).
+  uint64_t IssueRead(uint32_t blkno, BlockData* out, std::function<void()> isr = nullptr);
+
+  // Suspends until request `id` completes (returns immediately if done).
+  Task<void> WaitFor(uint64_t id);
+
+  bool IsComplete(uint64_t id) const { return completed_.contains(id); }
+
+  // Queue introspection (used by tests and by the FS for SYNCIO fences).
+  size_t PendingCount() const { return queue_.size() + (in_service_ ? 1 : 0); }
+  Task<void> Drain();  // Waits until the queue is empty.
+
+  // True if any pending write overlaps [blkno, blkno+count).
+  bool HasPendingWrite(uint32_t blkno, uint32_t count = 1) const;
+
+  const std::vector<RequestTrace>& Traces() const { return traces_; }
+  uint64_t TotalRequests() const { return total_requests_; }
+  // Requests that were merged into another request (still counted in
+  // TotalRequests? No: merged issues do not create a new device request).
+  uint64_t MergedRequests() const { return merged_requests_; }
+
+  const DriverConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    std::vector<uint64_t> ids;  // All ids merged into this device request.
+    IoDir dir;
+    uint32_t blkno;
+    uint32_t count;
+    bool flag = false;
+    uint64_t issue_index;  // Position in issue order (max over merged).
+    SimTime issue_time;
+    std::vector<uint64_t> deps;
+    std::vector<std::shared_ptr<const BlockData>> data;  // Writes.
+    BlockData* read_out = nullptr;                       // Reads.
+    std::vector<std::function<void()>> isrs;
+  };
+
+  uint64_t Enqueue(std::unique_ptr<Request> req, std::function<void()> isr);
+  bool TryMerge(Request* incoming);
+  void IndexRequest(const Request& r);
+  void UnindexRequest(const Request& r);
+  void Kick();
+  Task<void> ServiceLoop();
+  Request* PickNext();
+  bool Eligible(const Request& r) const;
+  bool ConflictsWithEarlierWrite(const Request& r) const;
+  void Complete(Request* req);
+  void PruneFlaggedIndices();
+
+  Engine* engine_;
+  DiskModel* model_;
+  DiskImage* image_;
+  DriverConfig config_;
+
+  uint64_t next_id_ = 1;
+  uint64_t next_issue_index_ = 1;
+  uint32_t scan_from_ = 0;
+  // Issue indices of every flagged request still relevant for Back
+  // semantics, ascending (pruned as the queue drains).
+  std::vector<uint64_t> flagged_indices_;
+  // Eligibility indexes, maintained incrementally so checks are O(log n)
+  // instead of O(queue) (large queues are a *feature* of this paper's
+  // workloads - seconds of queued ordered writes - so the naive scans
+  // were quadratic).
+  std::set<uint64_t> pending_indices_;          // All pending + in-service.
+  std::set<uint64_t> pending_flagged_indices_;  // Flagged subset.
+  // Per-block pending WRITE issue indices (overlap checks).
+  std::unordered_map<uint32_t, std::set<uint64_t>> pending_writes_by_block_;
+  std::list<std::unique_ptr<Request>> queue_;  // Issue order.
+  Request* in_service_ = nullptr;
+  std::unordered_set<uint64_t> completed_;
+  std::unordered_map<uint64_t, std::unique_ptr<OneShotEvent>> waiters_;
+  CondVar work_available_;
+  CondVar queue_empty_;
+  bool stopping_ = false;
+  ProcessRef service_proc_;
+
+  std::vector<RequestTrace> traces_;
+  uint64_t total_requests_ = 0;
+  uint64_t merged_requests_ = 0;
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_DRIVER_DISK_DRIVER_H_

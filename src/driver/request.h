@@ -1,0 +1,45 @@
+// Disk request types shared by the driver and its clients.
+#ifndef MUFS_SRC_DRIVER_REQUEST_H_
+#define MUFS_SRC_DRIVER_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/disk/disk_image.h"
+#include "src/sim/time.h"
+
+namespace mufs {
+
+enum class IoDir : uint8_t { kRead, kWrite };
+
+// Ordering information a file system attaches to a write request.
+struct OrderingTag {
+  // One-bit ordering flag (scheduler-flag schemes, paper section 3.1).
+  bool flag = false;
+  // Explicit request dependencies (scheduler-chain scheme, section 3.2):
+  // ids of previously issued requests that must complete first.
+  std::vector<uint64_t> deps;
+};
+
+// Completion record for one request, used for the paper's I/O statistics
+// (figures 1b-4b, response-time columns of tables 1-2).
+struct RequestTrace {
+  uint64_t id = 0;
+  IoDir dir = IoDir::kRead;
+  uint32_t blkno = 0;
+  uint32_t count = 0;
+  bool flagged = false;
+  SimTime issue_time = 0;
+  SimTime service_start = 0;
+  SimTime complete_time = 0;
+
+  SimDuration QueueDelay() const { return service_start - issue_time; }
+  SimDuration AccessTime() const { return complete_time - service_start; }
+  SimDuration ResponseTime() const { return complete_time - issue_time; }
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_DRIVER_REQUEST_H_

@@ -1,0 +1,114 @@
+// On-disk format of the mufs file system.
+//
+// A deliberately FFS-shaped layout (paper section 2: the experimental ufs
+// is a Berkeley FFS derivative): superblock, inode bitmap, block bitmap,
+// inode table, data area. Fixed-size 64-byte directory slots stand in for
+// FFS's variable-length entries; this keeps entry offsets stable, which
+// both the soft-updates directory dependencies and the fsck checker key
+// on. All structures are trivially copyable and are memcpy'd in and out
+// of 4 KB buffers.
+#ifndef MUFS_SRC_FS_FORMAT_H_
+#define MUFS_SRC_FS_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "src/disk/geometry.h"
+
+namespace mufs {
+
+constexpr uint32_t kFsMagic = 0x4d554653;  // "MUFS"
+constexpr uint32_t kNumDirect = 12;
+constexpr uint32_t kPtrsPerBlock = kBlockSize / sizeof(uint32_t);  // 1024
+constexpr uint32_t kInodeSize = 128;
+constexpr uint32_t kInodesPerBlock = kBlockSize / kInodeSize;  // 32
+constexpr uint32_t kRootIno = 1;  // Ino 0 is reserved as "no inode".
+
+// File type stored in DiskInode::mode. kFree (0) marks an unallocated
+// inode on disk.
+enum class FileType : uint16_t { kFree = 0, kRegular = 1, kDirectory = 2 };
+
+// On-disk inode. Exactly kInodeSize bytes.
+struct DiskInode {
+  uint16_t mode = 0;  // FileType.
+  uint16_t nlink = 0;
+  uint32_t generation = 0;  // Bumped on every reallocation of this inode.
+  uint64_t size = 0;
+  uint32_t direct[kNumDirect] = {};
+  uint32_t indirect = 0;
+  uint32_t double_indirect = 0;
+  uint32_t atime = 0;
+  uint32_t mtime = 0;
+  uint32_t ctime = 0;
+  uint32_t spare[11] = {};
+
+  FileType Type() const { return static_cast<FileType>(mode); }
+  bool InUse() const { return Type() != FileType::kFree; }
+  bool IsDir() const { return Type() == FileType::kDirectory; }
+};
+static_assert(sizeof(DiskInode) == kInodeSize);
+static_assert(kBlockSize % sizeof(DiskInode) == 0);
+
+// Fixed-size directory entry: 64 bytes, 64 per block. ino == 0 marks a
+// free slot (and is exactly what the soft-updates link-add undo writes).
+constexpr uint32_t kDirEntrySize = 64;
+constexpr uint32_t kMaxNameLen = 55;
+constexpr uint32_t kDirEntriesPerBlock = kBlockSize / kDirEntrySize;  // 64
+
+struct DirEntry {
+  uint32_t ino = 0;
+  uint32_t reserved = 0;
+  char name[kMaxNameLen + 1] = {};
+
+  std::string_view Name() const { return {name, strnlen(name, kMaxNameLen + 1)}; }
+  void SetName(std::string_view n) {
+    size_t len = n.size() < kMaxNameLen ? n.size() : kMaxNameLen;
+    memcpy(name, n.data(), len);
+    memset(name + len, 0, sizeof(name) - len);
+  }
+};
+static_assert(sizeof(DirEntry) == kDirEntrySize);
+
+// Superblock, stored in block 0.
+struct SuperBlock {
+  uint32_t magic = kFsMagic;
+  uint32_t total_blocks = 0;
+  uint32_t total_inodes = 0;
+  uint32_t inode_bitmap_start = 0;
+  uint32_t inode_bitmap_blocks = 0;
+  uint32_t block_bitmap_start = 0;
+  uint32_t block_bitmap_blocks = 0;
+  uint32_t inode_table_start = 0;
+  uint32_t inode_table_blocks = 0;
+  uint32_t data_start = 0;
+
+  // Which inode-table block holds inode `ino`, and its offset inside.
+  uint32_t ItableBlock(uint32_t ino) const {
+    return inode_table_start + ino / kInodesPerBlock;
+  }
+  uint32_t ItableOffset(uint32_t ino) const {
+    return (ino % kInodesPerBlock) * kInodeSize;
+  }
+  bool IsDataBlock(uint32_t blkno) const {
+    return blkno >= data_start && blkno < total_blocks;
+  }
+};
+static_assert(sizeof(SuperBlock) <= kBlockSize);
+
+// Bitmap helpers over raw block bytes.
+inline bool BitmapGet(const uint8_t* base, uint32_t index) {
+  return (base[index / 8] >> (index % 8)) & 1;
+}
+inline void BitmapSet(uint8_t* base, uint32_t index, bool value) {
+  if (value) {
+    base[index / 8] |= static_cast<uint8_t>(1u << (index % 8));
+  } else {
+    base[index / 8] &= static_cast<uint8_t>(~(1u << (index % 8)));
+  }
+}
+constexpr uint32_t kBitsPerBlock = kBlockSize * 8;
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_FS_FORMAT_H_

@@ -1,0 +1,77 @@
+// Error handling for file-system operations: a status enum and a small
+// Result<T> (C++23 std::expected is not yet available on our toolchain).
+#ifndef MUFS_SRC_FS_RESULT_H_
+#define MUFS_SRC_FS_RESULT_H_
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mufs {
+
+enum class FsStatus {
+  kOk = 0,
+  kNotFound,       // Path component does not exist.
+  kExists,         // Create/mkdir target already exists.
+  kNotDirectory,   // Path component is not a directory.
+  kIsDirectory,    // File operation on a directory.
+  kNotEmpty,       // Rmdir of a non-empty directory.
+  kNoSpace,        // Out of blocks or inodes.
+  kNameTooLong,    // Component longer than kMaxNameLen.
+  kInvalid,        // Bad argument (offset, empty name, "." / ".." misuse).
+  kBusy,           // Removing an in-use resource (e.g. rename dir into itself).
+};
+
+inline std::string_view ToString(FsStatus s) {
+  switch (s) {
+    case FsStatus::kOk:
+      return "ok";
+    case FsStatus::kNotFound:
+      return "not found";
+    case FsStatus::kExists:
+      return "already exists";
+    case FsStatus::kNotDirectory:
+      return "not a directory";
+    case FsStatus::kIsDirectory:
+      return "is a directory";
+    case FsStatus::kNotEmpty:
+      return "directory not empty";
+    case FsStatus::kNoSpace:
+      return "no space";
+    case FsStatus::kNameTooLong:
+      return "name too long";
+    case FsStatus::kInvalid:
+      return "invalid argument";
+    case FsStatus::kBusy:
+      return "resource busy";
+  }
+  return "unknown";
+}
+
+// Either a value or an error status. `Ok()` must be checked before value().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                    // NOLINT(runtime/explicit)
+  Result(FsStatus status) : v_(status) { assert(status != FsStatus::kOk); }  // NOLINT
+
+  bool Ok() const { return std::holds_alternative<T>(v_); }
+  FsStatus status() const { return Ok() ? FsStatus::kOk : std::get<FsStatus>(v_); }
+  T& value() {
+    assert(Ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    assert(Ok());
+    return std::get<T>(v_);
+  }
+  T ValueOr(T fallback) const { return Ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, FsStatus> v_;
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_FS_RESULT_H_

@@ -1,0 +1,84 @@
+#include "src/fsck/crash_harness.h"
+
+namespace mufs {
+
+namespace {
+
+struct RunState {
+  bool done = false;
+};
+
+Task<void> WorkloadRoot(Machine* m, Proc* proc, const CrashHarness::Workload* workload,
+                        RunState* state) {
+  co_await m->Boot(*proc);
+  co_await (*workload)(*m, *proc);
+  state->done = true;
+}
+
+}  // namespace
+
+CrashResult CrashHarness::RunAndCrash(const Workload& workload, uint64_t crash_after_events,
+                                      FsckOptions fsck_options) {
+  Machine m(config_);
+  Proc proc = m.MakeProc("crash-user");
+  RunState state;
+  m.engine().Spawn(WorkloadRoot(&m, &proc, &workload, &state), "crash-workload");
+
+  // Run until the crash point. If the workload finishes first, keep the
+  // world running (syncer flushing) until the event budget is spent or
+  // the system goes quiet.
+  m.engine().RunUntil([&] { return m.engine().EventsProcessed() >= crash_after_events; });
+
+  CrashResult result;
+  result.workload_finished = state.done;
+  result.events_run = m.engine().EventsProcessed();
+  result.crash_time = m.engine().Now();
+  DiskImage snapshot = m.CrashNow();
+  FsckChecker checker(&snapshot, fsck_options);
+  result.report = checker.Check();
+  return result;
+}
+
+CrashResult CrashHarness::RunAndCrashAtWrite(const Workload& workload, uint64_t write_count,
+                                             FsckOptions fsck_options) {
+  Machine m(config_);
+  Proc proc = m.MakeProc("crash-user");
+  RunState state;
+  m.engine().Spawn(WorkloadRoot(&m, &proc, &workload, &state), "crash-workload");
+  m.engine().RunUntil([&] { return m.image().WriteCount() >= write_count; });
+
+  CrashResult result;
+  result.workload_finished = state.done;
+  result.events_run = m.engine().EventsProcessed();
+  result.crash_time = m.engine().Now();
+  DiskImage snapshot = m.CrashNow();
+  FsckChecker checker(&snapshot, fsck_options);
+  result.report = checker.Check();
+  return result;
+}
+
+uint64_t CrashHarness::MeasureWrites(const Workload& workload, SimDuration settle) {
+  Machine m(config_);
+  Proc proc = m.MakeProc("measure-user");
+  RunState state;
+  m.engine().Spawn(WorkloadRoot(&m, &proc, &workload, &state), "measure-workload");
+  m.engine().RunUntil([&] { return state.done; });
+  SimTime end = m.engine().Now() + settle;
+  m.engine().RunUntil([&] { return m.engine().Now() >= end; });
+  return m.image().WriteCount();
+}
+
+uint64_t CrashHarness::MeasureEvents(const Workload& workload, SimDuration settle) {
+  Machine m(config_);
+  Proc proc = m.MakeProc("measure-user");
+  RunState state;
+  m.engine().Spawn(WorkloadRoot(&m, &proc, &workload, &state), "measure-workload");
+  m.engine().RunUntil([&] { return state.done; });
+  // Let the syncer settle deferred work so the sweep covers post-workload
+  // flushing windows too.
+  SimTime end = m.engine().Now() + settle;
+  m.engine().RunUntil([&] { return m.engine().Now() >= end; });
+  return m.engine().EventsProcessed();
+}
+
+}  // namespace mufs

@@ -1,0 +1,61 @@
+// Crash harness: run a workload on a Machine, pull the (virtual) power
+// cord at a chosen moment, and fsck the resulting stable-storage image.
+//
+// Because the simulation is deterministic, "crash points" are expressed
+// as event counts: the same workload crashed at event N always yields the
+// same image, so property tests can sweep N and pin down exactly which
+// windows violate integrity under which scheme.
+#ifndef MUFS_SRC_FSCK_CRASH_HARNESS_H_
+#define MUFS_SRC_FSCK_CRASH_HARNESS_H_
+
+#include <functional>
+#include <string>
+
+#include "src/core/machine.h"
+#include "src/fsck/fsck.h"
+
+namespace mufs {
+
+struct CrashResult {
+  bool workload_finished = false;  // Workload completed before the crash.
+  uint64_t events_run = 0;
+  SimTime crash_time = 0;
+  FsckReport report;
+};
+
+class CrashHarness {
+ public:
+  // The workload receives the machine and a proc; it must co_return when
+  // logically complete (the harness handles Boot).
+  using Workload = std::function<Task<void>(Machine&, Proc&)>;
+
+  explicit CrashHarness(MachineConfig config) : config_(config) {}
+
+  // Runs the workload and crashes after `crash_after_events` engine
+  // events (or when the workload and all background activity finish,
+  // whichever comes first), then checks the image.
+  CrashResult RunAndCrash(const Workload& workload, uint64_t crash_after_events,
+                          FsckOptions fsck_options = {});
+
+  // Stable storage only changes when a device write commits, so the set
+  // of distinct crash images is indexed by write count. Crashing right
+  // after the Nth write (for every N) covers EVERY reachable on-disk
+  // state of the run.
+  CrashResult RunAndCrashAtWrite(const Workload& workload, uint64_t write_count,
+                                 FsckOptions fsck_options = {});
+
+  // Runs the workload to completion (plus `settle` of idle syncer time),
+  // returning the total number of events - the sweep upper bound.
+  uint64_t MeasureEvents(const Workload& workload, SimDuration settle = Sec(3));
+
+  // Total device writes committed over the full run (+settle): the
+  // write-sweep upper bound.
+  uint64_t MeasureWrites(const Workload& workload, SimDuration settle = Sec(3));
+
+ private:
+  MachineConfig config_;
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_FSCK_CRASH_HARNESS_H_

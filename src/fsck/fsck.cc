@@ -1,0 +1,303 @@
+#include "src/fsck/fsck.h"
+
+#include <cctype>
+#include <cstring>
+#include <deque>
+
+namespace mufs {
+
+std::string_view ToString(FsckViolationType t) {
+  switch (t) {
+    case FsckViolationType::kBadSuperblock:
+      return "bad superblock";
+    case FsckViolationType::kDanglingDirEntry:
+      return "dangling directory entry";
+    case FsckViolationType::kLinkCountTooLow:
+      return "link count below reference count";
+    case FsckViolationType::kDuplicateBlockClaim:
+      return "block claimed twice";
+    case FsckViolationType::kBadBlockPointer:
+      return "bad block pointer";
+    case FsckViolationType::kGarbageDirectory:
+      return "garbage directory block";
+    case FsckViolationType::kStaleDataExposed:
+      return "stale data exposed through new pointer";
+  }
+  return "?";
+}
+
+void TagDataBlock(uint8_t* block_start, uint32_t ino, uint32_t generation) {
+  DataBlockTag tag;
+  tag.magic = kDataTagMagic;
+  tag.ino = ino;
+  tag.generation = generation;
+  memcpy(block_start, &tag, sizeof(tag));
+}
+
+DiskInode FsckChecker::ReadInode(uint32_t ino) const {
+  BlockData blk;
+  image_->Read(sb_.ItableBlock(ino), &blk);
+  DiskInode di;
+  memcpy(&di, blk.data() + sb_.ItableOffset(ino), sizeof(di));
+  return di;
+}
+
+bool FsckChecker::ClaimBlock(uint32_t ino, uint32_t blkno, FsckReport* report) {
+  if (blkno < sb_.data_start || blkno >= sb_.total_blocks) {
+    report->violations.push_back(
+        {FsckViolationType::kBadBlockPointer,
+         "ino " + std::to_string(ino) + " -> block " + std::to_string(blkno)});
+    return false;
+  }
+  auto [it, inserted] = block_owner_.try_emplace(blkno, ino);
+  if (!inserted) {
+    report->violations.push_back({FsckViolationType::kDuplicateBlockClaim,
+                                  "block " + std::to_string(blkno) + " claimed by ino " +
+                                      std::to_string(it->second) + " and ino " +
+                                      std::to_string(ino)});
+    return false;
+  }
+  ++report->blocks_claimed;
+  return true;
+}
+
+std::vector<uint32_t> FsckChecker::CollectBlocks(uint32_t ino, const DiskInode& di,
+                                                 FsckReport* report) {
+  std::vector<uint32_t> data_blocks;
+  auto add_data = [&](uint32_t blkno) {
+    if (blkno != 0 && ClaimBlock(ino, blkno, report)) {
+      data_blocks.push_back(blkno);
+    }
+  };
+  for (uint32_t i = 0; i < kNumDirect; ++i) {
+    add_data(di.direct[i]);
+  }
+  auto walk_indirect = [&](uint32_t iblk, auto&& leaf_fn) {
+    if (iblk == 0) {
+      return;
+    }
+    if (!ClaimBlock(ino, iblk, report)) {
+      return;
+    }
+    BlockData blk;
+    image_->Read(iblk, &blk);
+    const uint32_t* ptrs = reinterpret_cast<const uint32_t*>(blk.data());
+    for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+      leaf_fn(ptrs[i]);
+    }
+  };
+  walk_indirect(di.indirect, add_data);
+  walk_indirect(di.double_indirect,
+                [&](uint32_t mid) { walk_indirect(mid, add_data); });
+  return data_blocks;
+}
+
+void FsckChecker::CheckInode(uint32_t ino, const DiskInode& di, FsckReport* report) {
+  ++report->inodes_in_use;
+  if (di.IsDir()) {
+    ++report->dirs_seen;
+  } else {
+    ++report->files_seen;
+  }
+  std::vector<uint32_t> blocks = CollectBlocks(ino, di, report);
+  if (options_.check_stale_data && !di.IsDir()) {
+    for (uint32_t blkno : blocks) {
+      if (!image_->EverWritten(blkno)) {
+        continue;  // Reads as zeroes: no exposure.
+      }
+      BlockData blk;
+      image_->Read(blkno, &blk);
+      DataBlockTag tag;
+      memcpy(&tag, blk.data(), sizeof(tag));
+      bool all_zero = true;
+      for (size_t i = 0; i < sizeof(tag); ++i) {
+        if (blk[i] != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) {
+        continue;  // Initialized but unwritten.
+      }
+      if (tag.magic != kDataTagMagic || tag.ino != ino || tag.generation != di.generation) {
+        report->violations.push_back(
+            {FsckViolationType::kStaleDataExposed,
+             "ino " + std::to_string(ino) + " gen " + std::to_string(di.generation) +
+                 " block " + std::to_string(blkno) + " holds foreign data (tag ino " +
+                 std::to_string(tag.ino) + " gen " + std::to_string(tag.generation) + ")"});
+      }
+    }
+  }
+}
+
+void FsckChecker::CheckDirBlock(uint32_t dir_ino, uint32_t blkno, FsckReport* report,
+                                std::vector<uint32_t>* children) {
+  BlockData blk;
+  image_->Read(blkno, &blk);
+  for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+    DirEntry de;
+    memcpy(&de, blk.data() + e * kDirEntrySize, sizeof(de));
+    if (de.ino == 0) {
+      continue;
+    }
+    // Structural sanity: an uninitialized (stale-data) block shows up as
+    // unparseable entries.
+    bool name_ok = de.name[0] != '\0';
+    for (size_t i = 0; name_ok && i < kMaxNameLen && de.name[i] != '\0'; ++i) {
+      if (!isprint(static_cast<unsigned char>(de.name[i]))) {
+        name_ok = false;
+      }
+    }
+    if (de.ino >= sb_.total_inodes || !name_ok || de.reserved != 0) {
+      report->violations.push_back({FsckViolationType::kGarbageDirectory,
+                                    "dir ino " + std::to_string(dir_ino) + " block " +
+                                        std::to_string(blkno) + " entry " + std::to_string(e)});
+      continue;
+    }
+    DiskInode target = ReadInode(de.ino);
+    if (!target.InUse()) {
+      report->violations.push_back(
+          {FsckViolationType::kDanglingDirEntry,
+           "dir ino " + std::to_string(dir_ino) + " entry '" + std::string(de.Name()) +
+               "' -> free ino " + std::to_string(de.ino)});
+      continue;
+    }
+    ++ref_counts_[de.ino];
+    if (target.IsDir()) {
+      children->push_back(de.ino);
+    }
+  }
+}
+
+void FsckChecker::WalkDirectories(FsckReport* report) {
+  std::deque<uint32_t> queue;
+  std::vector<bool> visited(sb_.total_inodes, false);
+  queue.push_back(kRootIno);
+  visited[kRootIno] = true;
+  while (!queue.empty()) {
+    uint32_t dir_ino = queue.front();
+    queue.pop_front();
+    DiskInode di = ReadInode(dir_ino);
+    if (!di.IsDir()) {
+      continue;
+    }
+    // Gather the directory's blocks (already claimed in the inode pass;
+    // re-walk pointers here without claiming).
+    std::vector<uint32_t> blocks;
+    for (uint32_t i = 0; i < kNumDirect; ++i) {
+      if (di.direct[i] != 0) {
+        blocks.push_back(di.direct[i]);
+      }
+    }
+    if (di.indirect != 0) {
+      BlockData blk;
+      image_->Read(di.indirect, &blk);
+      const uint32_t* ptrs = reinterpret_cast<const uint32_t*>(blk.data());
+      for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+        if (ptrs[i] != 0) {
+          blocks.push_back(ptrs[i]);
+        }
+      }
+    }
+    std::vector<uint32_t> children;
+    for (uint32_t blkno : blocks) {
+      if (blkno >= sb_.data_start && blkno < sb_.total_blocks) {
+        CheckDirBlock(dir_ino, blkno, report, &children);
+      }
+    }
+    child_dir_counts_[dir_ino] = static_cast<uint32_t>(children.size());
+    for (uint32_t child : children) {
+      if (child < sb_.total_inodes && !visited[child]) {
+        visited[child] = true;
+        queue.push_back(child);
+      }
+    }
+  }
+}
+
+FsckReport FsckChecker::Check() {
+  FsckReport report;
+  block_owner_.clear();
+  ref_counts_.clear();
+
+  BlockData blk;
+  image_->Read(0, &blk);
+  memcpy(&sb_, blk.data(), sizeof(sb_));
+  if (sb_.magic != kFsMagic || sb_.total_blocks == 0 || sb_.total_inodes == 0) {
+    report.violations.push_back({FsckViolationType::kBadSuperblock, "magic/geometry"});
+    return report;
+  }
+
+  // Pass 1: inodes and block claims.
+  for (uint32_t ino = kRootIno; ino < sb_.total_inodes; ++ino) {
+    DiskInode di = ReadInode(ino);
+    if (di.InUse()) {
+      CheckInode(ino, di, &report);
+    }
+  }
+
+  // Pass 2: directory tree, reference counts.
+  WalkDirectories(&report);
+
+  // Pass 3: link-count audit.
+  for (uint32_t ino = kRootIno + 1; ino < sb_.total_inodes; ++ino) {
+    DiskInode di = ReadInode(ino);
+    if (!di.InUse()) {
+      continue;
+    }
+    uint32_t refs = 0;
+    auto it = ref_counts_.find(ino);
+    if (it != ref_counts_.end()) {
+      refs = it->second;
+    }
+    // Directory link counts in this format: 1 for the parent entry, 1 for
+    // the directory itself, plus one per child directory (their "..").
+    uint32_t minimum = refs;
+    uint32_t expected = refs;
+    if (di.IsDir()) {
+      uint32_t children = 0;
+      auto cit = child_dir_counts_.find(ino);
+      if (cit != child_dir_counts_.end()) {
+        children = cit->second;
+      }
+      if (refs > 0) {
+        minimum = refs + 1;
+        expected = refs + 1 + children;
+      }
+    }
+    if (di.nlink < minimum) {
+      report.violations.push_back(
+          {FsckViolationType::kLinkCountTooLow,
+           "ino " + std::to_string(ino) + " nlink " + std::to_string(di.nlink) + " refs " +
+               std::to_string(refs)});
+    } else if (refs == 0) {
+      report.fixables.push_back({"orphaned ino " + std::to_string(ino)});
+    } else if (di.nlink != expected) {
+      report.fixables.push_back({"miscounted nlink on ino " + std::to_string(ino) +
+                                 " nlink " + std::to_string(di.nlink) + " expected " +
+                                 std::to_string(expected)});
+    }
+  }
+
+  // Pass 4: bitmap audit (always fixable: fsck rebuilds bitmaps).
+  for (uint32_t ino = kRootIno; ino < sb_.total_inodes; ++ino) {
+    BlockData bm;
+    image_->Read(sb_.inode_bitmap_start + ino / kBitsPerBlock, &bm);
+    bool marked = BitmapGet(bm.data(), ino % kBitsPerBlock);
+    bool in_use = ReadInode(ino).InUse();
+    if (in_use && !marked) {
+      report.fixables.push_back({"ino " + std::to_string(ino) + " in use but free in bitmap"});
+    }
+  }
+  for (const auto& [blkno, owner] : block_owner_) {
+    BlockData bm;
+    image_->Read(sb_.block_bitmap_start + blkno / kBitsPerBlock, &bm);
+    if (!BitmapGet(bm.data(), blkno % kBitsPerBlock)) {
+      report.fixables.push_back(
+          {"block " + std::to_string(blkno) + " in use but free in bitmap"});
+    }
+  }
+  return report;
+}
+
+}  // namespace mufs

@@ -1,0 +1,111 @@
+// File-system integrity checker over a raw disk image.
+//
+// Plays the role of fsck in the paper: after a (simulated) crash, the
+// on-disk state must contain no *integrity* violations for every scheme
+// except No Order / Ignore. Recoverable inconsistencies - leaked blocks,
+// over-counted links, stale bitmaps, orphaned inodes - are reported as
+// fixable findings, not violations, exactly as fsck would repair them.
+//
+// Violations (unrecoverable without data loss / security exposure):
+//   - directory entry naming a free or out-of-range inode (rule 3);
+//   - link count lower than the number of on-disk references (rule 2:
+//     removing one name would free a still-referenced inode);
+//   - a block claimed by two files (rule 2);
+//   - invalid block pointer (outside the data area);
+//   - garbage directory block (rule 3: pointed to before initialized);
+//   - stale data visible through a new pointer (the allocation-
+//     initialization security check; needs cooperating workloads that
+//     tag their data blocks via TagDataBlock).
+#ifndef MUFS_SRC_FSCK_FSCK_H_
+#define MUFS_SRC_FSCK_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/disk/disk_image.h"
+#include "src/fs/format.h"
+
+namespace mufs {
+
+enum class FsckViolationType {
+  kBadSuperblock,
+  kDanglingDirEntry,     // Entry -> free/out-of-range inode.
+  kLinkCountTooLow,      // More on-disk references than nlink.
+  kDuplicateBlockClaim,  // Block owned by two files.
+  kBadBlockPointer,      // Pointer outside the data area.
+  kGarbageDirectory,     // Unparseable directory block.
+  kStaleDataExposed,     // Alloc-init security violation.
+};
+
+std::string_view ToString(FsckViolationType t);
+
+struct FsckViolation {
+  FsckViolationType type;
+  std::string detail;
+};
+
+struct FsckFixable {
+  std::string detail;  // Orphaned inode, leaked block, bitmap mismatch...
+};
+
+struct FsckReport {
+  std::vector<FsckViolation> violations;
+  std::vector<FsckFixable> fixables;
+  uint32_t inodes_in_use = 0;
+  uint32_t dirs_seen = 0;
+  uint32_t files_seen = 0;
+  uint64_t blocks_claimed = 0;
+
+  bool Clean() const { return violations.empty(); }
+};
+
+// Cooperating workloads stamp each data block so the checker can detect
+// stale-data exposure: 16-byte header {kDataTagMagic, ino, generation,
+// lbn}.
+struct DataBlockTag {
+  uint64_t magic = 0;
+  uint32_t ino = 0;
+  uint32_t generation = 0;
+};
+constexpr uint64_t kDataTagMagic = 0x5441474d55465321ull;  // "TAGMUFS!"
+
+// Writes the tag into the first bytes of a caller-provided data buffer.
+void TagDataBlock(uint8_t* block_start, uint32_t ino, uint32_t generation);
+
+struct FsckOptions {
+  // Verify data-block tags (requires TagDataBlock-cooperating workloads
+  // and allocation-initialization guarantees).
+  bool check_stale_data = false;
+};
+
+class FsckChecker {
+ public:
+  explicit FsckChecker(const DiskImage* image, FsckOptions options = {})
+      : image_(image), options_(options) {}
+
+  FsckReport Check();
+
+ private:
+  void CheckInode(uint32_t ino, const DiskInode& di, FsckReport* report);
+  void WalkDirectories(FsckReport* report);
+  void CheckDirBlock(uint32_t dir_ino, uint32_t blkno, FsckReport* report,
+                     std::vector<uint32_t>* children);
+  // Collects all block pointers of an inode (direct + indirect trees),
+  // recording violations for bad pointers and duplicate claims.
+  std::vector<uint32_t> CollectBlocks(uint32_t ino, const DiskInode& di, FsckReport* report);
+  bool ClaimBlock(uint32_t ino, uint32_t blkno, FsckReport* report);
+  DiskInode ReadInode(uint32_t ino) const;
+
+  const DiskImage* image_;
+  FsckOptions options_;
+  SuperBlock sb_;
+  std::unordered_map<uint32_t, uint32_t> block_owner_;  // blkno -> ino.
+  std::unordered_map<uint32_t, uint32_t> ref_counts_;   // ino -> #entries.
+  std::unordered_map<uint32_t, uint32_t> child_dir_counts_;  // dir ino -> #subdirs.
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_FSCK_FSCK_H_

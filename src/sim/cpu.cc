@@ -1,0 +1,17 @@
+#include "src/sim/cpu.h"
+
+namespace mufs {
+
+Task<void> Cpu::Consume(Pid pid, SimDuration amount) {
+  while (amount > 0) {
+    LockGuard guard = co_await LockGuard::Acquire(&mutex_);
+    SimDuration slice = std::min(quantum_, amount);
+    co_await engine_->Sleep(slice);
+    charged_[pid] += slice;
+    total_charged_ += slice;
+    amount -= slice;
+    // Guard releases here; FIFO handoff gives any waiter the next quantum.
+  }
+}
+
+}  // namespace mufs

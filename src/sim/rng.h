@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generator (splitmix64-seeded
+// xoshiro256**). Self-contained so results are reproducible across
+// standard library implementations (std::mt19937 distributions are not
+// portable across vendors).
+#ifndef MUFS_SRC_SIM_RNG_H_
+#define MUFS_SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace mufs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) {  // Full 64-bit range.
+      return static_cast<int64_t>(Next());
+    }
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Picks an index in [0, weights_size) proportionally to weights.
+  template <typename Container>
+  size_t WeightedIndex(const Container& weights) {
+    double total = 0;
+    for (double w : weights) {
+      total += w;
+    }
+    double r = UniformDouble() * total;
+    size_t i = 0;
+    for (double w : weights) {
+      if (r < w || i + 1 == static_cast<size_t>(weights.size())) {
+        return i;
+      }
+      r -= w;
+      ++i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_SIM_RNG_H_

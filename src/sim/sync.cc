@@ -1,0 +1,63 @@
+#include "src/sim/sync.h"
+
+#include <utility>
+
+namespace mufs {
+
+void CondVar::NotifyAll() {
+  while (!waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    engine_->Schedule(0, [h] { h.resume(); });
+  }
+}
+
+void CondVar::NotifyOne() {
+  if (!waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    engine_->Schedule(0, [h] { h.resume(); });
+  }
+}
+
+void OneShotEvent::Set() {
+  if (set_) {
+    return;
+  }
+  set_ = true;
+  while (!waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    engine_->Schedule(0, [h] { h.resume(); });
+  }
+}
+
+void Mutex::Unlock() {
+  assert(held_);
+  if (waiters_.empty()) {
+    held_ = false;
+    return;
+  }
+  // Direct handoff: the mutex stays held and ownership passes to the
+  // oldest waiter, preventing barging and giving FIFO fairness.
+  auto h = waiters_.front();
+  waiters_.pop_front();
+  engine_->Schedule(0, [h] { h.resume(); });
+}
+
+void Semaphore::Release() {
+  if (!waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    engine_->Schedule(0, [h] { h.resume(); });
+    return;
+  }
+  ++count_;
+}
+
+Task<LockGuard> LockGuard::Acquire(Mutex* m) {
+  co_await m->Lock();
+  co_return LockGuard(m);
+}
+
+}  // namespace mufs

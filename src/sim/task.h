@@ -1,0 +1,161 @@
+// Coroutine task type for the mufs simulation kernel.
+//
+// Task<T> is a lazy coroutine: nothing runs until it is co_awaited (or
+// resumed by Engine::Spawn through a root wrapper). Completion transfers
+// control back to the awaiter via symmetric transfer, so arbitrarily deep
+// call chains run without growing the native stack and without involving
+// the event queue.
+//
+// Ownership: the Task object owns the coroutine frame. Awaiting a Task
+// leaves ownership with the Task object (which typically lives in the
+// awaiting coroutine's frame), so destroying a root task unwinds every
+// nested frame correctly.
+#ifndef MUFS_SRC_SIM_TASK_H_
+#define MUFS_SRC_SIM_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace mufs {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+class TaskPromiseBase {
+ public:
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  // On completion, resume whoever awaited us; if nobody did (detached root
+  // wrapper), just suspend and let the owner destroy the frame.
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation_;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception_ = std::current_exception(); }
+
+  void set_continuation(std::coroutine_handle<> c) noexcept { continuation_ = c; }
+
+ protected:
+  void RethrowIfFailed() {
+    if (exception_) {
+      std::rethrow_exception(exception_);
+    }
+  }
+
+ private:
+  std::coroutine_handle<> continuation_;
+  std::exception_ptr exception_;
+};
+
+template <typename T>
+class TaskPromise final : public TaskPromiseBase {
+ public:
+  Task<T> get_return_object() noexcept;
+
+  template <typename U>
+  void return_value(U&& v) {
+    value_.emplace(std::forward<U>(v));
+  }
+
+  T&& Result() {
+    RethrowIfFailed();
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;  // optional: T need not be default-constructible.
+};
+
+template <>
+class TaskPromise<void> final : public TaskPromiseBase {
+ public:
+  Task<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+  void Result() { RethrowIfFailed(); }
+};
+
+}  // namespace internal
+
+// A lazily-started coroutine returning T. Move-only.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = internal::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool Valid() const noexcept { return handle_ != nullptr; }
+  bool Done() const noexcept { return handle_ && handle_.done(); }
+
+  // Starts the coroutine without an awaiter. Used only by root wrappers
+  // that manage their own lifetime signalling.
+  void StartDetached() {
+    assert(handle_ && !handle_.done());
+    handle_.resume();
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().set_continuation(awaiting);
+        return handle;  // Symmetric transfer: start the child now.
+      }
+      T await_resume() { return handle.promise().Result(); }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace internal {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>(std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace internal
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_SIM_TASK_H_

@@ -1,0 +1,89 @@
+#include "src/workload/tree_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mufs {
+
+TreeSpec GenerateTree(const TreeGenOptions& options) {
+  Rng rng(options.seed);
+  TreeSpec tree;
+
+  // Directory skeleton: a root-level spread with nested clusters, like a
+  // home directory full of projects.
+  std::vector<std::string> dir_paths;
+  std::vector<uint32_t> dir_depths;
+  for (uint32_t d = 0; d < options.dir_count; ++d) {
+    if (d < 6 || dir_paths.empty()) {
+      dir_paths.push_back("dir" + std::to_string(d));
+      dir_depths.push_back(1);
+    } else {
+      // Attach under a random existing directory not too deep.
+      for (int tries = 0; tries < 8; ++tries) {
+        size_t parent = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(
+                                                                  dir_paths.size()) - 1));
+        if (dir_depths[parent] < options.max_depth) {
+          dir_paths.push_back(dir_paths[parent] + "/sub" + std::to_string(d));
+          dir_depths.push_back(dir_depths[parent] + 1);
+          break;
+        }
+      }
+    }
+  }
+  tree.directories = dir_paths;
+
+  // File sizes: source trees are mostly small files with a long tail.
+  // Draw from a discrete mixture, then rescale to hit total_bytes exactly.
+  std::vector<uint64_t> sizes(options.file_count);
+  uint64_t sum = 0;
+  for (auto& s : sizes) {
+    double r = rng.UniformDouble();
+    if (r < 0.55) {
+      s = 200 + rng.Next() % 3800;  // Small sources: 0.2-4 KB.
+    } else if (r < 0.85) {
+      s = 4096 + rng.Next() % 28672;  // Medium: 4-32 KB.
+    } else if (r < 0.97) {
+      s = 32768 + rng.Next() % 98304;  // Large: 32-128 KB.
+    } else {
+      s = 131072 + rng.Next() % 262144;  // Tail: 128-384 KB.
+    }
+    sum += s;
+  }
+  // Rescale proportionally, then distribute the rounding remainder.
+  uint64_t scaled_sum = 0;
+  for (auto& s : sizes) {
+    s = std::max<uint64_t>(1, s * options.total_bytes / sum);
+    scaled_sum += s;
+  }
+  if (scaled_sum < options.total_bytes) {
+    sizes[0] += options.total_bytes - scaled_sum;
+  } else if (scaled_sum > options.total_bytes) {
+    uint64_t excess = scaled_sum - options.total_bytes;
+    for (auto& s : sizes) {
+      uint64_t cut = std::min(excess, s > 1 ? s - 1 : 0);
+      s -= cut;
+      excess -= cut;
+      if (excess == 0) {
+        break;
+      }
+    }
+  }
+
+  // Scatter files over directories (and a few at the top level).
+  tree.files.reserve(options.file_count);
+  for (uint32_t i = 0; i < options.file_count; ++i) {
+    std::string dir;
+    if (rng.UniformDouble() < 0.08 || dir_paths.empty()) {
+      dir = "";
+    } else {
+      dir = dir_paths[static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(dir_paths.size()) - 1))] +
+            "/";
+    }
+    tree.files.push_back({dir + "file" + std::to_string(i), sizes[i]});
+  }
+  assert(tree.TotalBytes() == options.total_bytes);
+  return tree;
+}
+
+}  // namespace mufs

@@ -1,0 +1,53 @@
+// Synthetic source-tree generator.
+//
+// The paper's copy/remove benchmarks operate on a snapshot of the first
+// author's home directory: 535 files totalling 14.3 MB. We cannot have
+// that tree, so we generate a deterministic synthetic one with the same
+// file count, total size and a plausible source-tree shape (nested
+// directories, mostly-small files with a long tail). Benchmarks depend
+// only on these aggregates.
+#ifndef MUFS_SRC_WORKLOAD_TREE_GEN_H_
+#define MUFS_SRC_WORKLOAD_TREE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace mufs {
+
+struct TreeSpec {
+  // Directories, in creation order (parents before children). Paths are
+  // relative, '/'-separated, without leading slash.
+  std::vector<std::string> directories;
+  struct File {
+    std::string path;  // Relative path.
+    uint64_t size;
+  };
+  std::vector<File> files;
+
+  uint64_t TotalBytes() const {
+    uint64_t t = 0;
+    for (const auto& f : files) {
+      t += f.size;
+    }
+    return t;
+  }
+};
+
+struct TreeGenOptions {
+  uint32_t file_count = 535;
+  uint64_t total_bytes = 14'300'000;  // 14.3 MB.
+  uint32_t dir_count = 36;
+  uint32_t max_depth = 4;
+  uint64_t seed = 1994;
+};
+
+// Generates a deterministic tree matching the options: exactly
+// `file_count` files whose sizes sum to exactly `total_bytes`.
+TreeSpec GenerateTree(const TreeGenOptions& options = {});
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_WORKLOAD_TREE_GEN_H_

@@ -1,0 +1,442 @@
+#include "src/workload/workloads.h"
+
+#include <algorithm>
+
+#include "src/fsck/fsck.h"
+
+namespace mufs {
+
+namespace {
+
+// Builds `bytes` of data where every 4 KB block starts with the fsck tag.
+std::vector<uint8_t> MakeTaggedData(uint32_t ino, uint32_t generation, uint64_t bytes) {
+  std::vector<uint8_t> data(bytes, 0x6d);
+  for (uint64_t off = 0; off < bytes; off += kBlockSize) {
+    if (bytes - off >= sizeof(DataBlockTag)) {
+      TagDataBlock(data.data() + off, ino, generation);
+    }
+  }
+  return data;
+}
+
+std::string JoinPath(const std::string& root, const std::string& rel) {
+  return rel.empty() ? root : root + "/" + rel;
+}
+
+}  // namespace
+
+Task<FsStatus> WriteTagged(Machine& m, Proc& proc, uint32_t ino, uint64_t bytes) {
+  Result<StatInfo> st = co_await m.fs().StatIno(proc, ino);
+  if (!st.Ok()) {
+    co_return st.status();
+  }
+  std::vector<uint8_t> data = MakeTaggedData(ino, st.value().generation, bytes);
+  Result<uint64_t> w = co_await m.fs().WriteFile(proc, ino, 0, data);
+  co_return w.Ok() ? FsStatus::kOk : w.status();
+}
+
+Task<FsStatus> PopulateTree(Machine& m, Proc& proc, const TreeSpec& tree,
+                            const std::string& root) {
+  FsStatus s = co_await m.fs().Mkdir(proc, root);
+  if (s != FsStatus::kOk && s != FsStatus::kExists) {
+    co_return s;
+  }
+  for (const auto& dir : tree.directories) {
+    s = co_await m.fs().Mkdir(proc, JoinPath(root, dir));
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+  }
+  for (const auto& f : tree.files) {
+    Result<uint32_t> ino = co_await m.fs().Create(proc, JoinPath(root, f.path));
+    if (!ino.Ok()) {
+      co_return ino.status();
+    }
+    s = co_await WriteTagged(m, proc, ino.value(), f.size);
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+  }
+  co_return FsStatus::kOk;
+}
+
+Task<FsStatus> CopyTree(Machine& m, Proc& proc, const TreeSpec& tree,
+                        const std::string& src_root, const std::string& dst_root) {
+  FsStatus s = co_await m.fs().Mkdir(proc, dst_root);
+  if (s != FsStatus::kOk && s != FsStatus::kExists) {
+    co_return s;
+  }
+  for (const auto& dir : tree.directories) {
+    s = co_await m.fs().Mkdir(proc, JoinPath(dst_root, dir));
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+  }
+  std::vector<uint8_t> buffer;
+  for (const auto& f : tree.files) {
+    // Read the source file in full (cold reads hit the disk).
+    Result<uint32_t> src = co_await m.fs().Lookup(proc, JoinPath(src_root, f.path));
+    if (!src.Ok()) {
+      co_return src.status();
+    }
+    buffer.resize(f.size);
+    Result<uint64_t> r = co_await m.fs().ReadFile(proc, src.value(), 0, buffer);
+    if (!r.Ok()) {
+      co_return r.status();
+    }
+    Result<uint32_t> dst = co_await m.fs().Create(proc, JoinPath(dst_root, f.path));
+    if (!dst.Ok()) {
+      co_return dst.status();
+    }
+    s = co_await WriteTagged(m, proc, dst.value(), f.size);
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+  }
+  co_return FsStatus::kOk;
+}
+
+Task<FsStatus> RemoveTree(Machine& m, Proc& proc, const TreeSpec& tree,
+                          const std::string& root) {
+  for (const auto& f : tree.files) {
+    FsStatus s = co_await m.fs().Unlink(proc, JoinPath(root, f.path));
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+  }
+  // Children were appended after parents; remove in reverse order.
+  for (auto it = tree.directories.rbegin(); it != tree.directories.rend(); ++it) {
+    FsStatus s = co_await m.fs().Rmdir(proc, JoinPath(root, *it));
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+  }
+  co_return co_await m.fs().Rmdir(proc, root);
+}
+
+Task<FsStatus> CreateFiles(Machine& m, Proc& proc, const std::string& dir, int count,
+                           uint64_t file_bytes) {
+  for (int i = 0; i < count; ++i) {
+    Result<uint32_t> ino = co_await m.fs().Create(proc, dir + "/c" + std::to_string(i));
+    if (!ino.Ok()) {
+      co_return ino.status();
+    }
+    FsStatus s = co_await WriteTagged(m, proc, ino.value(), file_bytes);
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+  }
+  co_return FsStatus::kOk;
+}
+
+Task<FsStatus> RemoveFiles(Machine& m, Proc& proc, const std::string& dir, int count) {
+  for (int i = 0; i < count; ++i) {
+    FsStatus s = co_await m.fs().Unlink(proc, dir + "/c" + std::to_string(i));
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+  }
+  co_return FsStatus::kOk;
+}
+
+Task<FsStatus> CreateRemoveFiles(Machine& m, Proc& proc, const std::string& dir, int count,
+                                 uint64_t file_bytes) {
+  for (int i = 0; i < count; ++i) {
+    std::string path = dir + "/cr" + std::to_string(i);
+    Result<uint32_t> ino = co_await m.fs().Create(proc, path);
+    if (!ino.Ok()) {
+      co_return ino.status();
+    }
+    FsStatus s = co_await WriteTagged(m, proc, ino.value(), file_bytes);
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+    s = co_await m.fs().Unlink(proc, path);
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+  }
+  co_return FsStatus::kOk;
+}
+
+// ---------------------------------------------------------------------
+// Andrew
+// ---------------------------------------------------------------------
+
+Task<AndrewTimes> AndrewBenchmark(Machine& m, Proc& proc, const TreeSpec& tree,
+                                  const std::string& src_root, const std::string& work_root) {
+  AndrewTimes times;
+  SimTime t0 = m.engine().Now();
+
+  // Phase 1: make the directory tree.
+  FsStatus s = co_await m.fs().Mkdir(proc, work_root);
+  (void)s;
+  for (const auto& dir : tree.directories) {
+    co_await m.fs().Mkdir(proc, JoinPath(work_root, dir));
+  }
+  SimTime t1 = m.engine().Now();
+  times.make_dir = ToSeconds(t1 - t0);
+
+  // Phase 2: copy the data files.
+  std::vector<uint8_t> buffer;
+  for (const auto& f : tree.files) {
+    Result<uint32_t> src = co_await m.fs().Lookup(proc, JoinPath(src_root, f.path));
+    if (!src.Ok()) {
+      continue;
+    }
+    buffer.resize(f.size);
+    (void)co_await m.fs().ReadFile(proc, src.value(), 0, buffer);
+    Result<uint32_t> dst = co_await m.fs().Create(proc, JoinPath(work_root, f.path));
+    if (dst.Ok()) {
+      co_await WriteTagged(m, proc, dst.value(), f.size);
+    }
+  }
+  SimTime t2 = m.engine().Now();
+  times.copy = ToSeconds(t2 - t1);
+
+  // Phase 3: examine the status of every file.
+  for (const auto& f : tree.files) {
+    (void)co_await m.fs().Stat(proc, JoinPath(work_root, f.path));
+  }
+  SimTime t3 = m.engine().Now();
+  times.scan_dir = ToSeconds(t3 - t2);
+
+  // Phase 4: read every byte of every file.
+  for (const auto& f : tree.files) {
+    Result<uint32_t> ino = co_await m.fs().Lookup(proc, JoinPath(work_root, f.path));
+    if (!ino.Ok()) {
+      continue;
+    }
+    buffer.resize(f.size);
+    (void)co_await m.fs().ReadFile(proc, ino.value(), 0, buffer);
+  }
+  SimTime t4 = m.engine().Now();
+  times.read_all = ToSeconds(t4 - t3);
+
+  // Phase 5: compile. CPU-dominated on a 33 MHz i486 ("aggressive,
+  // time-consuming compilation techniques and a slow CPU"): each source
+  // is read, crunched, and an object is written; a final link writes one
+  // large output.
+  uint64_t linked_bytes = 0;
+  size_t compile_count = 0;
+  for (const auto& f : tree.files) {
+    if (compile_count >= tree.files.size() / 2) {
+      break;
+    }
+    ++compile_count;
+    Result<uint32_t> ino = co_await m.fs().Lookup(proc, JoinPath(work_root, f.path));
+    if (!ino.Ok()) {
+      continue;
+    }
+    buffer.resize(f.size);
+    (void)co_await m.fs().ReadFile(proc, ino.value(), 0, buffer);
+    co_await m.cpu().Consume(proc.pid, Sec(7));  // The compiler itself.
+    Result<uint32_t> obj =
+        co_await m.fs().Create(proc, JoinPath(work_root, f.path) + ".o");
+    if (obj.Ok()) {
+      co_await WriteTagged(m, proc, obj.value(), f.size);
+      linked_bytes += f.size;
+    }
+  }
+  co_await m.cpu().Consume(proc.pid, Sec(5));  // Link.
+  Result<uint32_t> out = co_await m.fs().Create(proc, work_root + "/a.out");
+  if (out.Ok()) {
+    co_await WriteTagged(m, proc, out.value(), std::max<uint64_t>(linked_bytes / 2, kBlockSize));
+  }
+  times.compile = ToSeconds(m.engine().Now() - t4);
+  co_return times;
+}
+
+// ---------------------------------------------------------------------
+// Sdet
+// ---------------------------------------------------------------------
+
+Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64_t seed,
+                          int operations) {
+  Rng rng(seed);
+  FsStatus s = co_await m.fs().Mkdir(proc, dir);
+  if (s != FsStatus::kOk && s != FsStatus::kExists) {
+    co_return s;
+  }
+  std::vector<std::string> files;
+  std::vector<std::string> subdirs;
+  int name_counter = 0;
+
+  for (int op = 0; op < operations; ++op) {
+    double r = rng.UniformDouble();
+    if (r < 0.18 || files.empty()) {
+      // Create a small file (an "edit session" output).
+      std::string path = dir + "/f" + std::to_string(name_counter++);
+      Result<uint32_t> ino = co_await m.fs().Create(proc, path);
+      if (ino.Ok()) {
+        co_await WriteTagged(m, proc, ino.value(), 512 + rng.Next() % 8192);
+        files.push_back(path);
+      }
+    } else if (r < 0.38) {
+      // Read a file.
+      const std::string& path = files[rng.Next() % files.size()];
+      Result<uint32_t> ino = co_await m.fs().Lookup(proc, path);
+      if (ino.Ok()) {
+        std::vector<uint8_t> buf(8192);
+        (void)co_await m.fs().ReadFile(proc, ino.value(), 0, buf);
+      }
+    } else if (r < 0.53) {
+      // Edit: read then rewrite.
+      const std::string& path = files[rng.Next() % files.size()];
+      Result<uint32_t> ino = co_await m.fs().Lookup(proc, path);
+      if (ino.Ok()) {
+        co_await m.cpu().Consume(proc.pid, Msec(15));  // The editor.
+        co_await WriteTagged(m, proc, ino.value(), 512 + rng.Next() % 8192);
+      }
+    } else if (r < 0.63) {
+      // Delete.
+      size_t idx = rng.Next() % files.size();
+      if ((co_await m.fs().Unlink(proc, files[idx])) == FsStatus::kOk) {
+        files.erase(files.begin() + static_cast<ptrdiff_t>(idx));
+      }
+    } else if (r < 0.71) {
+      // Stat / ls.
+      (void)co_await m.fs().ReadDir(proc, dir);
+    } else if (r < 0.76) {
+      // Mkdir.
+      std::string sub = dir + "/sub" + std::to_string(name_counter++);
+      if ((co_await m.fs().Mkdir(proc, sub)) == FsStatus::kOk) {
+        subdirs.push_back(sub);
+      }
+    } else if (r < 0.80 && !subdirs.empty()) {
+      // Rmdir (may fail if non-empty; that is fine).
+      size_t idx = rng.Next() % subdirs.size();
+      if ((co_await m.fs().Rmdir(proc, subdirs[idx])) == FsStatus::kOk) {
+        subdirs.erase(subdirs.begin() + static_cast<ptrdiff_t>(idx));
+      }
+    } else if (r < 0.86) {
+      // Rename.
+      size_t idx = rng.Next() % files.size();
+      std::string to = dir + "/r" + std::to_string(name_counter++);
+      if ((co_await m.fs().Rename(proc, files[idx], to)) == FsStatus::kOk) {
+        files[idx] = to;
+      }
+    } else {
+      // Compile: read a file, crunch, write an object.
+      const std::string& path = files[rng.Next() % files.size()];
+      Result<uint32_t> ino = co_await m.fs().Lookup(proc, path);
+      if (ino.Ok()) {
+        std::vector<uint8_t> buf(8192);
+        (void)co_await m.fs().ReadFile(proc, ino.value(), 0, buf);
+        co_await m.cpu().Consume(proc.pid, Msec(80));
+        std::string obj = dir + "/o" + std::to_string(name_counter++);
+        Result<uint32_t> oino = co_await m.fs().Create(proc, obj);
+        if (oino.Ok()) {
+          co_await WriteTagged(m, proc, oino.value(), 2048 + rng.Next() % 16384);
+          files.push_back(obj);
+        }
+      }
+    }
+  }
+  co_return FsStatus::kOk;
+}
+
+// ---------------------------------------------------------------------
+// Multi-user runner
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct RunnerState {
+  bool setup_done = false;
+  int users_finished = 0;
+  std::vector<SimTime> user_start;
+  std::vector<SimTime> user_end;
+};
+
+Task<void> SetupRoot(Machine* m, Proc* proc, const SetupFn* setup, RunnerState* st) {
+  co_await m->Boot(*proc);
+  if (*setup) {
+    co_await (*setup)(*m, *proc);
+  }
+  // Flush the setup's dirt so the timed phase starts from a stable disk.
+  co_await m->fs().SyncEverything(*proc);
+  st->setup_done = true;
+}
+
+Task<void> UserRoot(Machine* m, Proc* proc, const UserFn* body, int index, RunnerState* st) {
+  st->user_start[static_cast<size_t>(index)] = m->engine().Now();
+  co_await (*body)(*m, *proc, index);
+  st->user_end[static_cast<size_t>(index)] = m->engine().Now();
+  st->users_finished++;
+}
+
+}  // namespace
+
+RunMeasurement RunMultiUser(Machine& m, int num_users, const SetupFn& setup,
+                            const UserFn& user_body, bool drop_caches_after_setup) {
+  RunnerState st;
+  st.user_start.resize(static_cast<size_t>(num_users));
+  st.user_end.resize(static_cast<size_t>(num_users));
+
+  Proc setup_proc = m.MakeProc("setup");
+  m.engine().Spawn(SetupRoot(&m, &setup_proc, &setup, &st), "setup");
+  m.engine().RunUntil([&] { return st.setup_done; });
+
+  if (drop_caches_after_setup) {
+    m.fs().DropCleanInodes();
+    m.cache().DropClean();
+  }
+
+  std::vector<Proc> procs;
+  procs.reserve(static_cast<size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) {
+    procs.push_back(m.MakeProc("user" + std::to_string(u)));
+  }
+  std::vector<SimDuration> cpu0(static_cast<size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) {
+    cpu0[static_cast<size_t>(u)] = m.cpu().Charged(procs[static_cast<size_t>(u)].pid);
+  }
+  uint64_t req0 = m.driver().TotalRequests();
+  size_t trace0 = m.driver().Traces().size();
+  SimTime t0 = m.engine().Now();
+
+  for (int u = 0; u < num_users; ++u) {
+    m.engine().Spawn(UserRoot(&m, &procs[static_cast<size_t>(u)], &user_body, u, &st),
+                     procs[static_cast<size_t>(u)].name);
+  }
+  m.engine().RunUntil([&] { return st.users_finished == num_users; });
+  SimTime t_users_done = m.engine().Now();
+
+  // Let background flushing quiesce (bounded) so system-wide I/O counts
+  // cover the whole benchmark, like the paper's system-wide statistics.
+  SimTime deadline = t_users_done + Sec(90);
+  m.engine().RunUntil([&] {
+    bool quiet = m.driver().PendingCount() == 0 && m.cache().DirtyCount() == 0 &&
+                 !m.fs().AnyDirtyInode() && m.syncer().PendingWork() == 0;
+    return quiet || m.engine().Now() >= deadline;
+  });
+
+  RunMeasurement out;
+  out.users.resize(static_cast<size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) {
+    auto& us = out.users[static_cast<size_t>(u)];
+    us.elapsed = st.user_end[static_cast<size_t>(u)] - st.user_start[static_cast<size_t>(u)];
+    us.cpu = m.cpu().Charged(procs[static_cast<size_t>(u)].pid) - cpu0[static_cast<size_t>(u)];
+    us.io_wait = procs[static_cast<size_t>(u)].io_wait;
+    out.cpu_seconds_total += ToSeconds(us.cpu);
+  }
+  out.wall = t_users_done - t0;
+  out.disk_requests = m.driver().TotalRequests() - req0;
+  const auto& traces = m.driver().Traces();
+  double resp = 0;
+  double access = 0;
+  size_t n = 0;
+  for (size_t i = trace0; i < traces.size(); ++i) {
+    resp += ToMs(traces[i].ResponseTime());
+    access += ToMs(traces[i].AccessTime());
+    ++n;
+  }
+  if (n > 0) {
+    out.avg_response_ms = resp / static_cast<double>(n);
+    out.avg_access_ms = access / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace mufs

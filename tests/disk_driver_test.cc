@@ -1,0 +1,350 @@
+// Unit tests for the disk driver: scheduling, merging, and every ordering
+// discipline from the paper's section 3.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/disk/disk_image.h"
+#include "src/disk/disk_model.h"
+#include "src/driver/disk_driver.h"
+#include "src/sim/engine.h"
+
+namespace mufs {
+namespace {
+
+std::shared_ptr<const BlockData> MakeBlock(uint8_t fill) {
+  auto b = std::make_shared<BlockData>();
+  b->fill(fill);
+  return b;
+}
+
+// Small fixture wiring an engine, model, image and driver together.
+struct Rig {
+  explicit Rig(DriverConfig cfg = {}) : model(DiskGeometry{}), image(DiskGeometry{}.total_blocks) {
+    driver = std::make_unique<DiskDriver>(&engine, &model, &image, cfg);
+  }
+  Engine engine;
+  DiskModel model;
+  DiskImage image;
+  std::unique_ptr<DiskDriver> driver;
+
+  uint64_t Write(uint32_t blk, uint8_t fill, OrderingTag tag = {}) {
+    return driver->IssueWrite(blk, {MakeBlock(fill)}, tag);
+  }
+};
+
+// Completion order of a set of requests, by recording trace order.
+std::vector<uint32_t> CompletionBlocks(const Rig& rig) {
+  std::vector<uint32_t> out;
+  for (const auto& t : rig.driver->Traces()) {
+    out.push_back(t.blkno);
+  }
+  return out;
+}
+
+TEST(DriverBasicTest, WriteReachesImage) {
+  Rig rig;
+  rig.Write(10, 0xab);
+  rig.engine.Run();
+  BlockData d;
+  rig.image.Read(10, &d);
+  EXPECT_EQ(d[0], 0xab);
+  EXPECT_EQ(rig.driver->TotalRequests(), 1u);
+}
+
+TEST(DriverBasicTest, ReadReturnsImageContent) {
+  Rig rig;
+  BlockData src;
+  src.fill(0x5c);
+  rig.image.Write(20, src, 0);
+  BlockData dst;
+  dst.fill(0);
+  rig.driver->IssueRead(20, &dst);
+  rig.engine.Run();
+  EXPECT_EQ(dst[0], 0x5c);
+}
+
+TEST(DriverBasicTest, WaitForBlocksUntilComplete) {
+  Rig rig;
+  bool after_wait = false;
+  auto body = [](Rig* rig, bool* after) -> Task<void> {
+    uint64_t id = rig->driver->IssueWrite(30, {MakeBlock(1)});
+    co_await rig->driver->WaitFor(id);
+    EXPECT_TRUE(rig->driver->IsComplete(id));
+    *after = true;
+  };
+  rig.engine.Spawn(body(&rig, &after_wait), "w");
+  rig.engine.Run();
+  EXPECT_TRUE(after_wait);
+}
+
+TEST(DriverBasicTest, WaitForCompletedRequestReturnsImmediately) {
+  Rig rig;
+  uint64_t id = rig.Write(31, 2);
+  rig.engine.Run();
+  bool done = false;
+  auto body = [](Rig* rig, uint64_t id, bool* done) -> Task<void> {
+    co_await rig->driver->WaitFor(id);
+    *done = true;
+  };
+  rig.engine.Spawn(body(&rig, id, &done), "w");
+  rig.engine.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(DriverBasicTest, IsrRunsAtCompletion) {
+  Rig rig;
+  int calls = 0;
+  rig.driver->IssueWrite(40, {MakeBlock(1)}, {}, [&] { ++calls; });
+  rig.engine.Run();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(DriverBasicTest, DrainWaitsForEmptyQueue) {
+  Rig rig;
+  for (int i = 0; i < 5; ++i) {
+    rig.Write(100 + static_cast<uint32_t>(i) * 50, 1);
+  }
+  bool drained = false;
+  auto body = [](Rig* rig, bool* drained) -> Task<void> {
+    co_await rig->driver->Drain();
+    EXPECT_EQ(rig->driver->PendingCount(), 0u);
+    *drained = true;
+  };
+  rig.engine.Spawn(body(&rig, &drained), "drain");
+  rig.engine.Run();
+  EXPECT_TRUE(drained);
+}
+
+TEST(DriverSchedulingTest, CLookOrdersByBlockNumber) {
+  Rig rig;
+  // Issue far-apart writes in scrambled order within one event tick; the
+  // C-LOOK pass should service them in ascending block order.
+  rig.Write(5000, 1);
+  rig.Write(1000, 2);
+  rig.Write(9000, 3);
+  rig.Write(3000, 4);
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{1000, 3000, 5000, 9000}));
+}
+
+TEST(DriverSchedulingTest, SequentialWritesMergeIntoOneRequest) {
+  Rig rig;
+  rig.Write(200, 1);
+  rig.Write(201, 2);
+  rig.Write(202, 3);
+  rig.engine.Run();
+  EXPECT_EQ(rig.driver->MergedRequests(), 2u);
+  ASSERT_EQ(rig.driver->Traces().size(), 1u);
+  EXPECT_EQ(rig.driver->Traces()[0].count, 3u);
+  BlockData d;
+  rig.image.Read(202, &d);
+  EXPECT_EQ(d[0], 3);
+}
+
+TEST(DriverSchedulingTest, MergeRespectsSizeCap) {
+  Rig rig;
+  for (uint32_t i = 0; i < 20; ++i) {
+    rig.Write(300 + i, static_cast<uint8_t>(i));
+  }
+  rig.engine.Run();
+  // 16-block cap: 20 sequential blocks need at least two device requests.
+  EXPECT_GE(rig.driver->Traces().size(), 2u);
+  for (const auto& t : rig.driver->Traces()) {
+    EXPECT_LE(t.count, 16u);
+  }
+}
+
+TEST(DriverSchedulingTest, FlaggedWritesDoNotMerge) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag, .semantics = FlagSemantics::kPart}};
+  rig.Write(400, 1, OrderingTag{.flag = true, .deps = {}});
+  rig.Write(401, 2, OrderingTag{.flag = true, .deps = {}});
+  rig.engine.Run();
+  EXPECT_EQ(rig.driver->Traces().size(), 2u);
+}
+
+TEST(DriverFlagTest, PartHoldsLaterRequestsUntilFlaggedCompletes) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag, .semantics = FlagSemantics::kPart}};
+  // Flagged write at a far position, then a near write issued after it.
+  // C-LOOK alone would service 100 first; Part semantics forbid it.
+  rig.Write(5000, 1, OrderingTag{.flag = true, .deps = {}});
+  rig.Write(100, 2);
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{5000, 100}));
+}
+
+TEST(DriverFlagTest, PartAllowsEarlierRequestsToFloat) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag, .semantics = FlagSemantics::kPart}};
+  // Non-flagged issued first at far position, then flagged. Part lets the
+  // flagged request be serviced before the earlier non-flagged one if the
+  // scheduler prefers, and lets the earlier one reorder with later ones.
+  rig.Write(9000, 1);
+  rig.Write(200, 2, OrderingTag{.flag = true, .deps = {}});
+  rig.Write(100, 3);
+  rig.engine.Run();
+  // 200 (flagged) must precede 100 (issued after it). 9000 is free; C-LOOK
+  // from origin 0 picks 200 first, then 100... 100 < 200 so after wrap.
+  auto blocks = CompletionBlocks(rig);
+  ASSERT_EQ(blocks.size(), 3u);
+  auto pos = [&](uint32_t b) {
+    return std::find(blocks.begin(), blocks.end(), b) - blocks.begin();
+  };
+  EXPECT_LT(pos(200), pos(100));
+}
+
+TEST(DriverFlagTest, FullActsAsBarrierBothDirections) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag, .semantics = FlagSemantics::kFull}};
+  rig.Write(9000, 1);
+  rig.Write(200, 2, OrderingTag{.flag = true, .deps = {}});
+  rig.Write(100, 3);
+  rig.engine.Run();
+  // Full: 9000 (before flag) must complete before 200; 100 after 200.
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{9000, 200, 100}));
+}
+
+TEST(DriverFlagTest, BackHoldsLaterBehindFlagAndItsPredecessors) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag, .semantics = FlagSemantics::kBack}};
+  rig.Write(9000, 1);
+  rig.Write(200, 2, OrderingTag{.flag = true, .deps = {}});
+  rig.Write(100, 3);
+  rig.engine.Run();
+  auto blocks = CompletionBlocks(rig);
+  auto pos = [&](uint32_t b) {
+    return std::find(blocks.begin(), blocks.end(), b) - blocks.begin();
+  };
+  // 100 (after flag) must follow both 200 and 200's predecessor 9000.
+  EXPECT_LT(pos(200), pos(100));
+  EXPECT_LT(pos(9000), pos(100));
+}
+
+TEST(DriverFlagTest, BackAllowsFlaggedToFloatWithPredecessors) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag, .semantics = FlagSemantics::kBack}};
+  rig.Write(9000, 1);
+  rig.Write(200, 2, OrderingTag{.flag = true, .deps = {}});
+  rig.engine.Run();
+  // Back (unlike Full) lets the flagged request run before the earlier
+  // non-flagged one; C-LOOK prefers 200 from origin 0.
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{200, 9000}));
+}
+
+TEST(DriverFlagTest, ReadsWaitBehindBarrierWithoutNr) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag,
+                       .semantics = FlagSemantics::kPart,
+                       .reads_bypass = false}};
+  BlockData out;
+  rig.Write(5000, 1, OrderingTag{.flag = true, .deps = {}});
+  rig.driver->IssueRead(100, &out);
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{5000, 100}));
+}
+
+TEST(DriverFlagTest, NrLetsNonConflictingReadBypass) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag,
+                       .semantics = FlagSemantics::kPart,
+                       .reads_bypass = true}};
+  BlockData out;
+  rig.Write(5000, 1, OrderingTag{.flag = true, .deps = {}});
+  rig.driver->IssueRead(100, &out);
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{100, 5000}));
+}
+
+TEST(DriverFlagTest, NrConflictingReadDoesNotBypass) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag,
+                       .semantics = FlagSemantics::kPart,
+                       .reads_bypass = true}};
+  BlockData out;
+  rig.Write(5000, 7, OrderingTag{.flag = true, .deps = {}});
+  rig.driver->IssueRead(5000, &out);  // Same block: must see the write.
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{5000, 5000}));
+  EXPECT_EQ(out[0], 7);
+}
+
+TEST(DriverChainTest, DependentRequestWaitsForDependency) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kChains}};
+  uint64_t first = rig.Write(5000, 1);
+  rig.Write(100, 2, OrderingTag{.flag = false, .deps = {first}});
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{5000, 100}));
+}
+
+TEST(DriverChainTest, IndependentRequestsReorderFreely) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kChains}};
+  rig.Write(5000, 1);
+  rig.Write(100, 2);  // No deps: C-LOOK takes 100 first.
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{100, 5000}));
+}
+
+TEST(DriverChainTest, ChainOfThreeServicesInOrder) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kChains}};
+  uint64_t a = rig.Write(9000, 1);
+  uint64_t b = rig.Write(5000, 2, OrderingTag{.flag = false, .deps = {a}});
+  rig.Write(100, 3, OrderingTag{.flag = false, .deps = {b}});
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{9000, 5000, 100}));
+}
+
+TEST(DriverChainTest, DependencyOnCompletedRequestIsSatisfied) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kChains}};
+  uint64_t a = rig.Write(100, 1);
+  rig.engine.Run();
+  rig.Write(200, 2, OrderingTag{.flag = false, .deps = {a}});
+  rig.engine.Run();
+  EXPECT_EQ(rig.driver->Traces().size(), 2u);
+}
+
+TEST(DriverChainTest, ReadsNeverBlockedByChains) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kChains}};
+  uint64_t a = rig.Write(9000, 1);
+  rig.Write(5000, 2, OrderingTag{.flag = false, .deps = {a}});
+  BlockData out;
+  rig.driver->IssueRead(100, &out);
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig).front(), 100u);
+}
+
+TEST(DriverChainTest, DiamondDependencyRespected) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kChains}};
+  uint64_t a = rig.Write(9000, 1);
+  uint64_t b = rig.Write(7000, 2, OrderingTag{.flag = false, .deps = {a}});
+  uint64_t c = rig.Write(5000, 3, OrderingTag{.flag = false, .deps = {a}});
+  rig.Write(100, 4, OrderingTag{.flag = false, .deps = {b, c}});
+  rig.engine.Run();
+  auto blocks = CompletionBlocks(rig);
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks.front(), 9000u);
+  EXPECT_EQ(blocks.back(), 100u);
+}
+
+TEST(DriverIgnoreTest, NoneModeIgnoresFlags) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kNone}};
+  rig.Write(5000, 1, OrderingTag{.flag = true, .deps = {}});
+  rig.Write(100, 2);
+  rig.engine.Run();
+  EXPECT_EQ(CompletionBlocks(rig), (std::vector<uint32_t>{100, 5000}));
+}
+
+TEST(DriverTraceTest, ResponseTimeDecomposes) {
+  Rig rig;
+  rig.Write(1000, 1);
+  rig.engine.Run();
+  const auto& t = rig.driver->Traces().at(0);
+  EXPECT_EQ(t.QueueDelay() + t.AccessTime(), t.ResponseTime());
+  EXPECT_GT(t.AccessTime(), 0);
+}
+
+TEST(DriverTraceTest, HasPendingWriteSeesQueuedRange) {
+  Rig rig{DriverConfig{.mode = OrderingMode::kFlag, .semantics = FlagSemantics::kPart}};
+  rig.Write(5000, 1, OrderingTag{.flag = true, .deps = {}});
+  rig.Write(600, 2);
+  EXPECT_TRUE(rig.driver->HasPendingWrite(600));
+  EXPECT_FALSE(rig.driver->HasPendingWrite(601));
+  rig.engine.Run();
+  EXPECT_FALSE(rig.driver->HasPendingWrite(600));
+}
+
+}  // namespace
+}  // namespace mufs

@@ -1,0 +1,277 @@
+// Unit tests for the fsck checker: start from a freshly formatted image
+// and inject specific corruptions directly into the raw blocks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/fs/filesystem.h"
+#include "src/fsck/fsck.h"
+
+namespace mufs {
+namespace {
+
+constexpr uint32_t kBlocks = 4096;
+
+struct Img {
+  Img() : image(kBlocks) { FileSystem::Mkfs(&image, 1024); }
+
+  SuperBlock sb() const {
+    BlockData b;
+    image.Read(0, &b);
+    SuperBlock s;
+    memcpy(&s, b.data(), sizeof(s));
+    return s;
+  }
+
+  DiskInode ReadInode(uint32_t ino) const {
+    SuperBlock s = sb();
+    BlockData b;
+    image.Read(s.ItableBlock(ino), &b);
+    DiskInode d;
+    memcpy(&d, b.data() + s.ItableOffset(ino), sizeof(d));
+    return d;
+  }
+
+  void WriteInode(uint32_t ino, const DiskInode& d) {
+    SuperBlock s = sb();
+    BlockData b;
+    image.Read(s.ItableBlock(ino), &b);
+    memcpy(b.data() + s.ItableOffset(ino), &d, sizeof(d));
+    image.Write(s.ItableBlock(ino), b, 0);
+  }
+
+  // Adds `name`->ino into the root directory (allocating root's first
+  // block at `dir_blk` if needed).
+  void AddRootEntry(const std::string& name, uint32_t ino, uint32_t dir_blk) {
+    DiskInode root = ReadInode(kRootIno);
+    if (root.direct[0] == 0) {
+      root.direct[0] = dir_blk;
+      root.size = kBlockSize;
+      WriteInode(kRootIno, root);
+      BlockData z;
+      z.fill(0);
+      image.Write(dir_blk, z, 0);
+    }
+    BlockData b;
+    image.Read(root.direct[0], &b);
+    for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+      DirEntry de;
+      memcpy(&de, b.data() + e * kDirEntrySize, sizeof(de));
+      if (de.ino == 0) {
+        de.ino = ino;
+        de.SetName(name);
+        de.reserved = 0;
+        memcpy(b.data() + e * kDirEntrySize, &de, sizeof(de));
+        image.Write(root.direct[0], b, 0);
+        return;
+      }
+    }
+    FAIL() << "no free slot";
+  }
+
+  // Creates a plausible regular file inode.
+  uint32_t MakeFile(uint32_t ino, uint16_t nlink, std::initializer_list<uint32_t> blocks) {
+    DiskInode d;
+    d.mode = static_cast<uint16_t>(FileType::kRegular);
+    d.nlink = nlink;
+    d.generation = 1;
+    uint32_t i = 0;
+    for (uint32_t blk : blocks) {
+      d.direct[i++] = blk;
+    }
+    d.size = static_cast<uint64_t>(i) * kBlockSize;
+    WriteInode(ino, d);
+    return ino;
+  }
+
+  DiskImage image;
+};
+
+TEST(FsckTest, FreshImageIsClean) {
+  Img img;
+  FsckReport r = FsckChecker(&img.image).Check();
+  EXPECT_TRUE(r.Clean());
+  EXPECT_EQ(r.inodes_in_use, 1u);  // Root.
+  EXPECT_EQ(r.dirs_seen, 1u);
+}
+
+TEST(FsckTest, BadSuperblockDetected) {
+  Img img;
+  BlockData b;
+  b.fill(0xab);
+  img.image.Write(0, b, 0);
+  FsckReport r = FsckChecker(&img.image).Check();
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].type, FsckViolationType::kBadSuperblock);
+}
+
+TEST(FsckTest, HealthyFileIsClean) {
+  Img img;
+  SuperBlock sb = img.sb();
+  img.MakeFile(5, 1, {sb.data_start + 10});
+  img.AddRootEntry("file", 5, sb.data_start + 1);
+  FsckReport r = FsckChecker(&img.image).Check();
+  for (const auto& v : r.violations) {
+    ADD_FAILURE() << ToString(v.type) << ": " << v.detail;
+  }
+  EXPECT_EQ(r.files_seen, 1u);
+}
+
+TEST(FsckTest, DanglingEntryDetected) {
+  Img img;
+  SuperBlock sb = img.sb();
+  img.AddRootEntry("ghost", 7, sb.data_start + 1);  // Ino 7 is free.
+  FsckReport r = FsckChecker(&img.image).Check();
+  ASSERT_FALSE(r.Clean());
+  EXPECT_EQ(r.violations[0].type, FsckViolationType::kDanglingDirEntry);
+}
+
+TEST(FsckTest, DuplicateBlockClaimDetected) {
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t shared = sb.data_start + 20;
+  img.MakeFile(5, 1, {shared});
+  img.MakeFile(6, 1, {shared});
+  img.AddRootEntry("a", 5, sb.data_start + 1);
+  img.AddRootEntry("b", 6, sb.data_start + 1);
+  FsckReport r = FsckChecker(&img.image).Check();
+  bool found = false;
+  for (const auto& v : r.violations) {
+    found |= v.type == FsckViolationType::kDuplicateBlockClaim;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FsckTest, BadBlockPointerDetected) {
+  Img img;
+  SuperBlock sb = img.sb();
+  img.MakeFile(5, 1, {sb.inode_table_start});  // Points into metadata!
+  img.AddRootEntry("bad", 5, sb.data_start + 1);
+  FsckReport r = FsckChecker(&img.image).Check();
+  bool found = false;
+  for (const auto& v : r.violations) {
+    found |= v.type == FsckViolationType::kBadBlockPointer;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FsckTest, LinkCountTooLowDetected) {
+  Img img;
+  SuperBlock sb = img.sb();
+  img.MakeFile(5, /*nlink=*/1, {});
+  img.AddRootEntry("one", 5, sb.data_start + 1);
+  img.AddRootEntry("two", 5, sb.data_start + 1);  // Two refs, nlink 1.
+  FsckReport r = FsckChecker(&img.image).Check();
+  bool found = false;
+  for (const auto& v : r.violations) {
+    found |= v.type == FsckViolationType::kLinkCountTooLow;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FsckTest, GarbageDirectoryDetected) {
+  Img img;
+  SuperBlock sb = img.sb();
+  // Root points to a block full of binary junk (stale data reused as a
+  // directory without initialization).
+  DiskInode root = img.ReadInode(kRootIno);
+  uint32_t blk = sb.data_start + 3;
+  root.direct[0] = blk;
+  root.size = kBlockSize;
+  img.WriteInode(kRootIno, root);
+  BlockData junk;
+  for (size_t i = 0; i < junk.size(); ++i) {
+    junk[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  img.image.Write(blk, junk, 0);
+  FsckReport r = FsckChecker(&img.image).Check();
+  bool found = false;
+  for (const auto& v : r.violations) {
+    found |= v.type == FsckViolationType::kGarbageDirectory;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FsckTest, OrphanedInodeIsFixableNotViolation) {
+  Img img;
+  img.MakeFile(5, 1, {});  // In use, never referenced.
+  FsckReport r = FsckChecker(&img.image).Check();
+  EXPECT_TRUE(r.Clean());
+  bool found = false;
+  for (const auto& f : r.fixables) {
+    found |= f.detail.find("orphaned") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FsckTest, OvercountedNlinkIsFixable) {
+  Img img;
+  SuperBlock sb = img.sb();
+  img.MakeFile(5, /*nlink=*/3, {});
+  img.AddRootEntry("over", 5, sb.data_start + 1);
+  FsckReport r = FsckChecker(&img.image).Check();
+  EXPECT_TRUE(r.Clean());
+  EXPECT_FALSE(r.fixables.empty());
+}
+
+TEST(FsckTest, StaleDataDetectedWhenEnabled) {
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t blk = sb.data_start + 30;
+  img.MakeFile(5, 1, {blk});
+  img.AddRootEntry("f", 5, sb.data_start + 1);
+  // Block holds data tagged for a different inode/generation.
+  BlockData foreign;
+  foreign.fill(0);
+  TagDataBlock(foreign.data(), /*ino=*/99, /*generation=*/7);
+  img.image.Write(blk, foreign, 0);
+
+  FsckOptions opt;
+  opt.check_stale_data = true;
+  FsckReport r = FsckChecker(&img.image, opt).Check();
+  bool found = false;
+  for (const auto& v : r.violations) {
+    found |= v.type == FsckViolationType::kStaleDataExposed;
+  }
+  EXPECT_TRUE(found);
+
+  // And without the option it is not flagged.
+  FsckReport r2 = FsckChecker(&img.image).Check();
+  EXPECT_TRUE(r2.Clean());
+}
+
+TEST(FsckTest, ZeroFilledDataBlockIsNotStale) {
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t blk = sb.data_start + 31;
+  img.MakeFile(5, 1, {blk});
+  img.AddRootEntry("f", 5, sb.data_start + 1);
+  BlockData zeros;
+  zeros.fill(0);
+  img.image.Write(blk, zeros, 0);  // Initialized, never written with data.
+  FsckOptions opt;
+  opt.check_stale_data = true;
+  FsckReport r = FsckChecker(&img.image, opt).Check();
+  EXPECT_TRUE(r.Clean());
+}
+
+TEST(FsckTest, BitmapMismatchesAreFixable) {
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t blk = sb.data_start + 40;
+  img.MakeFile(5, 1, {blk});
+  img.AddRootEntry("f", 5, sb.data_start + 1);
+  // Neither the inode nor the block is marked in the bitmaps.
+  FsckReport r = FsckChecker(&img.image).Check();
+  EXPECT_TRUE(r.Clean());
+  int bitmap_findings = 0;
+  for (const auto& f : r.fixables) {
+    if (f.detail.find("bitmap") != std::string::npos) {
+      ++bitmap_findings;
+    }
+  }
+  EXPECT_GE(bitmap_findings, 2);
+}
+
+}  // namespace
+}  // namespace mufs

@@ -1,0 +1,231 @@
+// Unit tests for simulation synchronization primitives and the CPU model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/engine.h"
+#include "src/sim/rng.h"
+#include "src/sim/sync.h"
+
+namespace mufs {
+namespace {
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Engine e;
+  CondVar cv(&e);
+  int woke = 0;
+  auto body = [](CondVar* cv, int* woke) -> Task<void> {
+    co_await cv->Await();
+    ++*woke;
+  };
+  for (int i = 0; i < 3; ++i) {
+    e.Spawn(body(&cv, &woke), "w");
+  }
+  e.Schedule(Msec(5), [&] { cv.NotifyAll(); });
+  e.Run();
+  EXPECT_EQ(woke, 3);
+}
+
+TEST(CondVarTest, NotifyOneWakesOldestOnly) {
+  Engine e;
+  CondVar cv(&e);
+  std::vector<int> woke;
+  auto body = [](CondVar* cv, std::vector<int>* woke, int i) -> Task<void> {
+    co_await cv->Await();
+    woke->push_back(i);
+  };
+  for (int i = 0; i < 3; ++i) {
+    e.Spawn(body(&cv, &woke, i), "w");
+  }
+  e.Schedule(Msec(5), [&] { cv.NotifyOne(); });
+  e.Run();
+  ASSERT_EQ(woke.size(), 1u);
+  EXPECT_EQ(woke[0], 0);
+  EXPECT_EQ(cv.WaiterCount(), 2u);
+}
+
+TEST(OneShotEventTest, WaitersBeforeAndAfterSet) {
+  Engine e;
+  OneShotEvent ev(&e);
+  std::vector<std::string> log;
+  auto early = [&]() -> Task<void> {
+    co_await ev.Wait();
+    log.push_back("early");
+  };
+  auto late = [&]() -> Task<void> {
+    co_await e.Sleep(Msec(20));
+    co_await ev.Wait();  // Already set: passes through.
+    log.push_back("late");
+  };
+  e.Spawn(early(), "early");
+  e.Spawn(late(), "late");
+  e.Schedule(Msec(10), [&] { ev.Set(); });
+  e.Run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "early");
+  EXPECT_EQ(log[1], "late");
+}
+
+TEST(MutexTest, MutualExclusionAndFifoOrder) {
+  Engine e;
+  Mutex m(&e);
+  std::vector<int> order;
+  auto body = [](Engine* e, Mutex* m, std::vector<int>* order, int i) -> Task<void> {
+    co_await e->Sleep(Msec(i));  // Stagger arrival: 0,1,2,3.
+    co_await m->Lock();
+    order->push_back(i);
+    co_await e->Sleep(Msec(10));
+    m->Unlock();
+  };
+  for (int i = 0; i < 4; ++i) {
+    e.Spawn(body(&e, &m, &order, i), "p");
+  }
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(MutexTest, TryLockFailsWhenHeld) {
+  Engine e;
+  Mutex m(&e);
+  EXPECT_TRUE(m.TryLock());
+  EXPECT_TRUE(m.Held());
+  EXPECT_FALSE(m.TryLock());
+  m.Unlock();
+  EXPECT_FALSE(m.Held());
+}
+
+TEST(MutexTest, LockGuardReleasesOnScopeExit) {
+  Engine e;
+  Mutex m(&e);
+  bool second_got_lock = false;
+  auto first = [&]() -> Task<void> {
+    {
+      LockGuard g = co_await LockGuard::Acquire(&m);
+      co_await e.Sleep(Msec(5));
+    }
+    co_await e.Sleep(Msec(5));
+  };
+  auto second = [&]() -> Task<void> {
+    co_await e.Sleep(Msec(1));
+    LockGuard g = co_await LockGuard::Acquire(&m);
+    second_got_lock = true;
+  };
+  e.Spawn(first(), "first");
+  e.Spawn(second(), "second");
+  e.Run();
+  EXPECT_TRUE(second_got_lock);
+  EXPECT_FALSE(m.Held());
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Engine e;
+  Semaphore sem(&e, 2);
+  int active = 0;
+  int max_active = 0;
+  auto body = [](Engine* e, Semaphore* sem, int* active, int* max_active) -> Task<void> {
+    co_await sem->Acquire();
+    ++*active;
+    *max_active = std::max(*max_active, *active);
+    co_await e->Sleep(Msec(10));
+    --*active;
+    sem->Release();
+  };
+  for (int i = 0; i < 5; ++i) {
+    e.Spawn(body(&e, &sem, &active, &max_active), "p");
+  }
+  e.Run();
+  EXPECT_EQ(max_active, 2);
+  EXPECT_EQ(sem.Count(), 2);
+}
+
+TEST(CpuTest, SingleConsumerChargedExactly) {
+  Engine e;
+  Cpu cpu(&e);
+  auto body = [&]() -> Task<void> { co_await cpu.Consume(1, Msec(25)); };
+  e.Spawn(body(), "p1");
+  e.Run();
+  EXPECT_EQ(cpu.Charged(1), Msec(25));
+  EXPECT_EQ(e.Now(), Msec(25));
+}
+
+TEST(CpuTest, TwoConsumersShareSerially) {
+  Engine e;
+  Cpu cpu(&e, Msec(1));
+  SimTime end1 = 0;
+  SimTime end2 = 0;
+  auto mk = [&](Pid pid, SimTime* end) -> Task<void> {
+    co_await cpu.Consume(pid, Msec(10));
+    *end = e.Now();
+  };
+  e.Spawn(mk(1, &end1), "p1");
+  e.Spawn(mk(2, &end2), "p2");
+  e.Run();
+  EXPECT_EQ(cpu.Charged(1), Msec(10));
+  EXPECT_EQ(cpu.Charged(2), Msec(10));
+  // Total wall time is the sum (one CPU), and round-robin means both finish
+  // near the end rather than one finishing at Msec(10).
+  EXPECT_EQ(e.Now(), Msec(20));
+  EXPECT_GE(end1, Msec(18));
+  EXPECT_GE(end2, Msec(18));
+}
+
+TEST(CpuTest, TotalChargedAccumulates) {
+  Engine e;
+  Cpu cpu(&e);
+  auto body = [&](Pid pid) -> Task<void> { co_await cpu.Consume(pid, Msec(5)); };
+  e.Spawn(body(1), "p1");
+  e.Spawn(body(2), "p2");
+  e.Run();
+  EXPECT_EQ(cpu.TotalCharged(), Msec(10));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsZeroWeight) {
+  Rng r(42);
+  std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.WeightedIndex(w), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace mufs

@@ -1,0 +1,183 @@
+// Unit tests for the synthetic tree generator and the multi-user
+// workload runner / measurement plumbing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/fsck/fsck.h"
+#include "src/workload/workloads.h"
+
+namespace mufs {
+namespace {
+
+TEST(TreeGenTest, MatchesRequestedAggregates) {
+  TreeGenOptions opts;
+  TreeSpec tree = GenerateTree(opts);
+  EXPECT_EQ(tree.files.size(), opts.file_count);
+  EXPECT_EQ(tree.TotalBytes(), opts.total_bytes);
+  EXPECT_EQ(tree.directories.size(), opts.dir_count);
+}
+
+TEST(TreeGenTest, DeterministicForSameSeed) {
+  TreeSpec a = GenerateTree();
+  TreeSpec b = GenerateTree();
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].path, b.files[i].path);
+    EXPECT_EQ(a.files[i].size, b.files[i].size);
+  }
+}
+
+TEST(TreeGenTest, DifferentSeedsProduceDifferentSizes) {
+  TreeGenOptions o1;
+  TreeGenOptions o2;
+  o2.seed = 777;
+  TreeSpec a = GenerateTree(o1);
+  TreeSpec b = GenerateTree(o2);
+  int different = 0;
+  for (size_t i = 0; i < a.files.size(); ++i) {
+    if (a.files[i].size != b.files[i].size) {
+      ++different;
+    }
+  }
+  EXPECT_GT(different, 100);
+}
+
+TEST(TreeGenTest, ParentsPrecedeChildren) {
+  TreeSpec tree = GenerateTree();
+  std::set<std::string> seen;
+  for (const auto& dir : tree.directories) {
+    size_t slash = dir.rfind('/');
+    if (slash != std::string::npos) {
+      EXPECT_TRUE(seen.contains(dir.substr(0, slash))) << dir;
+    }
+    seen.insert(dir);
+  }
+}
+
+TEST(TreeGenTest, FilePathsAreUnique) {
+  TreeSpec tree = GenerateTree();
+  std::set<std::string> paths;
+  for (const auto& f : tree.files) {
+    EXPECT_TRUE(paths.insert(f.path).second) << "duplicate " << f.path;
+  }
+}
+
+TEST(WorkloadTest, PopulateCopyRemoveRoundTrip) {
+  TreeGenOptions opts;
+  opts.file_count = 40;
+  opts.total_bytes = 400'000;
+  opts.dir_count = 6;
+  TreeSpec tree = GenerateTree(opts);
+
+  MachineConfig cfg;
+  cfg.scheme = Scheme::kSoftUpdates;
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  auto body = [](Machine* m, Proc* p, const TreeSpec* tree, bool* done) -> Task<void> {
+    co_await m->Boot(*p);
+    EXPECT_EQ(co_await PopulateTree(*m, *p, *tree, "/src"), FsStatus::kOk);
+    EXPECT_EQ(co_await CopyTree(*m, *p, *tree, "/src", "/dst"), FsStatus::kOk);
+    // Every copied file exists with the right size.
+    for (const auto& f : tree->files) {
+      Result<StatInfo> st = co_await m->fs().Stat(*p, "/dst/" + f.path);
+      EXPECT_TRUE(st.Ok()) << f.path;
+      if (st.Ok()) {
+        EXPECT_EQ(st.value().size, f.size) << f.path;
+      }
+    }
+    EXPECT_EQ(co_await RemoveTree(*m, *p, *tree, "/dst"), FsStatus::kOk);
+    Result<uint32_t> gone = co_await m->fs().Lookup(*p, "/dst");
+    EXPECT_EQ(gone.status(), FsStatus::kNotFound);
+    co_await m->Shutdown(*p);
+    *done = true;
+  };
+  m.engine().Spawn(body(&m, &p, &tree, &done), "w");
+  m.engine().RunUntil([&] { return done; });
+  ASSERT_TRUE(done);
+
+  // The surviving /src tree audits clean, including data tags.
+  DiskImage snap = m.CrashNow();
+  FsckOptions fo;
+  fo.check_stale_data = true;
+  FsckReport r = FsckChecker(&snap, fo).Check();
+  for (const auto& v : r.violations) {
+    ADD_FAILURE() << ToString(v.type) << ": " << v.detail;
+  }
+  EXPECT_EQ(r.files_seen, tree.files.size());
+}
+
+TEST(WorkloadTest, RunMultiUserCollectsPerUserStats) {
+  Machine m(MachineConfig{});
+  SetupFn setup = [](Machine& mm, Proc& p) -> Task<void> {
+    (void)co_await mm.fs().Mkdir(p, "/w");
+  };
+  UserFn body = [](Machine& mm, Proc& p, int u) -> Task<void> {
+    (void)co_await CreateFiles(mm, p, "/w", 5 + u, 1024);
+  };
+  RunMeasurement meas = RunMultiUser(m, 3, setup, body);
+  ASSERT_EQ(meas.users.size(), 3u);
+  for (const auto& u : meas.users) {
+    EXPECT_GT(u.elapsed, 0);
+    EXPECT_GT(u.cpu, 0);
+  }
+  EXPECT_GT(meas.wall, 0);
+  EXPECT_GT(meas.disk_requests, 0u);
+  EXPECT_GT(meas.cpu_seconds_total, 0.0);
+}
+
+TEST(WorkloadTest, SdetScriptRunsCleanly) {
+  MachineConfig cfg;
+  cfg.scheme = Scheme::kConventional;
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  auto body = [](Machine* m, Proc* p, bool* done) -> Task<void> {
+    co_await m->Boot(*p);
+    EXPECT_EQ(co_await SdetScript(*m, *p, "/s0", 17, 80), FsStatus::kOk);
+    co_await m->Shutdown(*p);
+    *done = true;
+  };
+  m.engine().Spawn(body(&m, &p, &done), "w");
+  m.engine().RunUntil([&] { return done; });
+  ASSERT_TRUE(done);
+  DiskImage snap = m.CrashNow();
+  FsckReport r = FsckChecker(&snap).Check();
+  for (const auto& v : r.violations) {
+    ADD_FAILURE() << ToString(v.type) << ": " << v.detail;
+  }
+}
+
+TEST(WorkloadTest, AndrewPhasesAllPositive) {
+  TreeGenOptions opts;
+  opts.file_count = 20;
+  opts.total_bytes = 200'000;
+  opts.dir_count = 4;
+  TreeSpec tree = GenerateTree(opts);
+  MachineConfig cfg;
+  cfg.scheme = Scheme::kNoOrder;
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  AndrewTimes times;
+  auto body = [](Machine* m, Proc* p, const TreeSpec* tree, AndrewTimes* out,
+                 bool* done) -> Task<void> {
+    co_await m->Boot(*p);
+    (void)co_await PopulateTree(*m, *p, *tree, "/asrc");
+    *out = co_await AndrewBenchmark(*m, *p, *tree, "/asrc", "/awork");
+    *done = true;
+  };
+  m.engine().Spawn(body(&m, &p, &tree, &times, &done), "w");
+  m.engine().RunUntil([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_GT(times.make_dir, 0.0);
+  EXPECT_GT(times.copy, 0.0);
+  EXPECT_GT(times.scan_dir, 0.0);
+  EXPECT_GT(times.read_all, 0.0);
+  EXPECT_GT(times.compile, times.copy);  // CPU-dominated, as in the paper.
+  EXPECT_GT(times.Total(), 0.0);
+}
+
+}  // namespace
+}  // namespace mufs
