@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blockcopy.dir/bench_ablation_blockcopy.cc.o"
+  "CMakeFiles/bench_ablation_blockcopy.dir/bench_ablation_blockcopy.cc.o.d"
+  "bench_ablation_blockcopy"
+  "bench_ablation_blockcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blockcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

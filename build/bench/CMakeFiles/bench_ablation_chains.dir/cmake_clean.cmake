@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chains.dir/bench_ablation_chains.cc.o"
+  "CMakeFiles/bench_ablation_chains.dir/bench_ablation_chains.cc.o.d"
+  "bench_ablation_chains"
+  "bench_ablation_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_flag_semantics.dir/bench_fig1_flag_semantics.cc.o"
+  "CMakeFiles/bench_fig1_flag_semantics.dir/bench_fig1_flag_semantics.cc.o.d"
+  "bench_fig1_flag_semantics"
+  "bench_fig1_flag_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_flag_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

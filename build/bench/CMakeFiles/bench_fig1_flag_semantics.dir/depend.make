@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_flag_semantics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_remove_semantics.dir/bench_fig2_remove_semantics.cc.o"
+  "CMakeFiles/bench_fig2_remove_semantics.dir/bench_fig2_remove_semantics.cc.o.d"
+  "bench_fig2_remove_semantics"
+  "bench_fig2_remove_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_remove_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

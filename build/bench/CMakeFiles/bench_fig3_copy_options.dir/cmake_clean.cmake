@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_copy_options.dir/bench_fig3_copy_options.cc.o"
+  "CMakeFiles/bench_fig3_copy_options.dir/bench_fig3_copy_options.cc.o.d"
+  "bench_fig3_copy_options"
+  "bench_fig3_copy_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_copy_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_remove_options.dir/bench_fig4_remove_options.cc.o"
+  "CMakeFiles/bench_fig4_remove_options.dir/bench_fig4_remove_options.cc.o.d"
+  "bench_fig4_remove_options"
+  "bench_fig4_remove_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_remove_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sdet.dir/bench_fig6_sdet.cc.o"
+  "CMakeFiles/bench_fig6_sdet.dir/bench_fig6_sdet.cc.o.d"
+  "bench_fig6_sdet"
+  "bench_fig6_sdet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sdet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_copy.dir/bench_table1_copy.cc.o"
+  "CMakeFiles/bench_table1_copy.dir/bench_table1_copy.cc.o.d"
+  "bench_table1_copy"
+  "bench_table1_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_remove.dir/bench_table2_remove.cc.o"
+  "CMakeFiles/bench_table2_remove.dir/bench_table2_remove.cc.o.d"
+  "bench_table2_remove"
+  "bench_table2_remove.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_remove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

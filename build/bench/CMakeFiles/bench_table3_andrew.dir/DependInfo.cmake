@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_andrew.cc" "bench/CMakeFiles/bench_table3_andrew.dir/bench_table3_andrew.cc.o" "gcc" "bench/CMakeFiles/bench_table3_andrew.dir/bench_table3_andrew.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mufs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsck/CMakeFiles/mufs_fsck.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mufs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/mufs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mufs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/mufs_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/mufs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mufs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

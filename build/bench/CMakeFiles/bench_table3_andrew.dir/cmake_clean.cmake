@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_andrew.dir/bench_table3_andrew.cc.o"
+  "CMakeFiles/bench_table3_andrew.dir/bench_table3_andrew.cc.o.d"
+  "bench_table3_andrew"
+  "bench_table3_andrew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_andrew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

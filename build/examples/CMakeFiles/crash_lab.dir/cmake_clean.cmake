@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_lab.dir/crash_lab.cc.o"
+  "CMakeFiles/crash_lab.dir/crash_lab.cc.o.d"
+  "crash_lab"
+  "crash_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/buffer_cache.cc" "src/cache/CMakeFiles/mufs_cache.dir/buffer_cache.cc.o" "gcc" "src/cache/CMakeFiles/mufs_cache.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/cache/syncer.cc" "src/cache/CMakeFiles/mufs_cache.dir/syncer.cc.o" "gcc" "src/cache/CMakeFiles/mufs_cache.dir/syncer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mufs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/mufs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/mufs_driver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mufs_cache.dir/buffer_cache.cc.o"
+  "CMakeFiles/mufs_cache.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/mufs_cache.dir/syncer.cc.o"
+  "CMakeFiles/mufs_cache.dir/syncer.cc.o.d"
+  "libmufs_cache.a"
+  "libmufs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mufs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

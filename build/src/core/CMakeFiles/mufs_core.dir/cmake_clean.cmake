@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mufs_core.dir/machine.cc.o"
+  "CMakeFiles/mufs_core.dir/machine.cc.o.d"
+  "CMakeFiles/mufs_core.dir/policies.cc.o"
+  "CMakeFiles/mufs_core.dir/policies.cc.o.d"
+  "CMakeFiles/mufs_core.dir/softupdates/soft_updates_policy.cc.o"
+  "CMakeFiles/mufs_core.dir/softupdates/soft_updates_policy.cc.o.d"
+  "libmufs_core.a"
+  "libmufs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mufs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mufs_disk.dir/disk_model.cc.o"
+  "CMakeFiles/mufs_disk.dir/disk_model.cc.o.d"
+  "libmufs_disk.a"
+  "libmufs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mufs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mufs_driver.dir/disk_driver.cc.o"
+  "CMakeFiles/mufs_driver.dir/disk_driver.cc.o.d"
+  "libmufs_driver.a"
+  "libmufs_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mufs_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

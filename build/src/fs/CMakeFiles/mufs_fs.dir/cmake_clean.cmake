@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mufs_fs.dir/filesystem.cc.o"
+  "CMakeFiles/mufs_fs.dir/filesystem.cc.o.d"
+  "CMakeFiles/mufs_fs.dir/fs_ops.cc.o"
+  "CMakeFiles/mufs_fs.dir/fs_ops.cc.o.d"
+  "libmufs_fs.a"
+  "libmufs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mufs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

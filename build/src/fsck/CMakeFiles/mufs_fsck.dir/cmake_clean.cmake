@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mufs_fsck.dir/crash_harness.cc.o"
+  "CMakeFiles/mufs_fsck.dir/crash_harness.cc.o.d"
+  "CMakeFiles/mufs_fsck.dir/fsck.cc.o"
+  "CMakeFiles/mufs_fsck.dir/fsck.cc.o.d"
+  "libmufs_fsck.a"
+  "libmufs_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mufs_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

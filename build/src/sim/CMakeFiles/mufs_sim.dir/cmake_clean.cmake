@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mufs_sim.dir/cpu.cc.o"
+  "CMakeFiles/mufs_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/mufs_sim.dir/engine.cc.o"
+  "CMakeFiles/mufs_sim.dir/engine.cc.o.d"
+  "CMakeFiles/mufs_sim.dir/sync.cc.o"
+  "CMakeFiles/mufs_sim.dir/sync.cc.o.d"
+  "libmufs_sim.a"
+  "libmufs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mufs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

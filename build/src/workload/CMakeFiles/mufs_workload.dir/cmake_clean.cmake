@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mufs_workload.dir/tree_gen.cc.o"
+  "CMakeFiles/mufs_workload.dir/tree_gen.cc.o.d"
+  "CMakeFiles/mufs_workload.dir/workloads.cc.o"
+  "CMakeFiles/mufs_workload.dir/workloads.cc.o.d"
+  "libmufs_workload.a"
+  "libmufs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mufs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmufs_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_driver_test.dir/disk_driver_test.cc.o"
+  "CMakeFiles/disk_driver_test.dir/disk_driver_test.cc.o.d"
+  "disk_driver_test"
+  "disk_driver_test.pdb"
+  "disk_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

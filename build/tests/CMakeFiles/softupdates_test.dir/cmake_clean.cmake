@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softupdates_test.dir/softupdates_test.cc.o"
+  "CMakeFiles/softupdates_test.dir/softupdates_test.cc.o.d"
+  "softupdates_test"
+  "softupdates_test.pdb"
+  "softupdates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softupdates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

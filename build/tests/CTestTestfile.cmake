@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_model_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_driver_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/filesystem_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/fsck_test[1]_include.cmake")
+include("/root/repo/build/tests/softupdates_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
