@@ -18,6 +18,7 @@ int Main() {
   double copy_off = 0;
   double rm_on = 0;
   double rm_off = 0;
+  StatsSidecar sidecar("bench_ablation_blockcopy");
   for (bool cb : {false, true}) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerChains);
     cfg.copy_blocks = cb;
@@ -30,6 +31,7 @@ int Main() {
         (void)co_await CopyTree(mm, p, tree, "/src", "/copy" + std::to_string(u));
       };
       RunMeasurement meas = RunMultiUser(m, kUsers, setup, body);
+      sidecar.Append(std::string("copy/") + (cb ? "cb" : "nocb"), meas.stats_json);
       printf("%-12s %-8s %12.1f %12llu %16llu\n", "copy", cb ? "yes" : "no",
              meas.ElapsedAvgSeconds(), static_cast<unsigned long long>(meas.disk_requests),
              static_cast<unsigned long long>(m.cache().stats().write_lock_waits));
@@ -37,6 +39,7 @@ int Main() {
     }
     {
       RunMeasurement meas = RunRemoveBenchmark(cfg, kUsers, tree);
+      sidecar.Append(std::string("remove/") + (cb ? "cb" : "nocb"), meas.stats_json);
       printf("%-12s %-8s %12.2f %12llu\n", "remove", cb ? "yes" : "no",
              meas.ElapsedAvgSeconds(), static_cast<unsigned long long>(meas.disk_requests));
       (cb ? rm_on : rm_off) = meas.ElapsedAvgSeconds();

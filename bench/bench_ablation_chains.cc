@@ -15,10 +15,12 @@ int Main() {
   PrintRule(64);
   double tracked = 0;
   double barrier = 0;
+  StatsSidecar sidecar("bench_ablation_chains");
   for (bool track : {false, true}) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerChains);
     cfg.chains_track_freed = track;
     RunMeasurement meas = RunRemoveBenchmark(cfg, kUsers, tree);
+    sidecar.Append(track ? "tracking" : "barrier", meas.stats_json);
     printf("%-28s %12.2f %12llu\n",
            track ? "freed-resource tracking" : "barrier fallback",
            meas.ElapsedAvgSeconds(), static_cast<unsigned long long>(meas.disk_requests));

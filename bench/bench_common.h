@@ -79,6 +79,44 @@ inline void PrintRule(int width = 100) {
   putchar('\n');
 }
 
+// Machine-readable companion to the printed tables: one JSONL record per
+// measured machine-run, written to "<bench_name>.stats.jsonl" in the
+// working directory. Each record is {"label":...,"run":<DumpStatsJson>},
+// so rows map 1:1 onto the paper tables/figures the binary prints.
+// Deterministic: same build + same seed => byte-identical file.
+class StatsSidecar {
+ public:
+  explicit StatsSidecar(const std::string& bench_name) : path_(bench_name + ".stats.jsonl") {
+    f_ = std::fopen(path_.c_str(), "w");
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+    }
+  }
+  StatsSidecar(const StatsSidecar&) = delete;
+  StatsSidecar& operator=(const StatsSidecar&) = delete;
+  ~StatsSidecar() {
+    if (f_ != nullptr) {
+      std::fclose(f_);
+      std::printf("[stats sidecar: %s]\n", path_.c_str());
+    }
+  }
+
+  void Append(const std::string& label, const std::string& stats_json) {
+    if (f_ == nullptr || stats_json.empty()) {
+      return;
+    }
+    std::string esc;
+    JsonEscape(label, &esc);
+    std::fprintf(f_, "{\"label\":\"%s\",\"run\":%s}\n", esc.c_str(), stats_json.c_str());
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+};
+
 }  // namespace mufs
 
 #endif  // MUFS_BENCH_BENCH_COMMON_H_

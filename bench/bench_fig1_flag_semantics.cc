@@ -30,12 +30,14 @@ int Main() {
   PrintRule(70);
   printf("%-10s %14s %20s\n", "Flag", "Elapsed(s)", "AvgDiskAccess(ms)");
   PrintRule(70);
+  StatsSidecar sidecar("bench_fig1_flag_semantics");
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(v.scheme);
     cfg.flag_semantics = v.semantics;
     cfg.reads_bypass = v.nr;
     cfg.ignore_flags = v.ignore;
     RunMeasurement meas = RunCopyBenchmark(cfg, kUsers, tree);
+    sidecar.Append(v.name, meas.stats_json);
     printf("%-10s %14.1f %20.2f\n", v.name, meas.ElapsedAvgSeconds(), meas.avg_access_ms);
   }
   PrintRule(70);

@@ -31,12 +31,14 @@ int Main() {
   PrintRule(70);
   printf("%-10s %14s %22s\n", "Flag", "Elapsed(s)", "AvgDriverResp(ms)");
   PrintRule(70);
+  StatsSidecar sidecar("bench_fig2_remove_semantics");
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(v.scheme);
     cfg.flag_semantics = v.semantics;
     cfg.reads_bypass = v.nr;
     cfg.ignore_flags = v.ignore;
     RunMeasurement meas = RunRemoveBenchmark(cfg, /*users=*/1, tree);
+    sidecar.Append(v.name, meas.stats_json);
     printf("%-10s %14.2f %22.1f\n", v.name, meas.ElapsedAvgSeconds(), meas.avg_response_ms);
   }
   PrintRule(70);

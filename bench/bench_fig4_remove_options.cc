@@ -25,6 +25,7 @@ int Main() {
   printf("%-12s %12s %10s %20s %16s\n", "Variant", "Elapsed(s)", "CPU(s)", "AvgDriverResp(ms)",
          "WriteLockWaits");
   PrintRule(86);
+  StatsSidecar sidecar("bench_fig4_remove_options");
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerFlag);
     cfg.flag_semantics = FlagSemantics::kPart;
@@ -40,6 +41,7 @@ int Main() {
       (void)co_await RemoveTree(mm, p, tree, "/tree" + std::to_string(u));
     };
     RunMeasurement meas = RunMultiUser(m, kUsers, setup, body, /*drop_caches=*/true);
+    sidecar.Append(v.name, meas.stats_json);
     printf("%-12s %12.2f %10.2f %20.1f %16llu\n", v.name, meas.ElapsedAvgSeconds(),
            meas.cpu_seconds_total, meas.avg_response_ms,
            static_cast<unsigned long long>(m.cache().stats().write_lock_waits));

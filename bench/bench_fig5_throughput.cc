@@ -11,7 +11,20 @@ constexpr int kTotalFiles = 10000;
 
 enum class Phase { kCreate, kRemove, kCreateRemove };
 
-double RunPhase(Scheme scheme, Phase phase, int users, int files_per_user) {
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kCreate:
+      return "create";
+    case Phase::kRemove:
+      return "remove";
+    case Phase::kCreateRemove:
+      return "create_remove";
+  }
+  return "?";
+}
+
+double RunPhase(Scheme scheme, Phase phase, int users, int files_per_user,
+                StatsSidecar& sidecar) {
   MachineConfig cfg = BenchConfig(scheme);
   Machine m(cfg);
   SetupFn setup = [users, files_per_user, phase](Machine& mm, Proc& p) -> Task<void> {
@@ -43,6 +56,9 @@ double RunPhase(Scheme scheme, Phase phase, int users, int files_per_user) {
   // (the paper removes "newly copied" files); keep caches warm.
   RunMeasurement meas = RunMultiUser(m, users, setup, body,
                                      /*drop_caches_after_setup=*/phase != Phase::kRemove);
+  sidecar.Append(std::string(PhaseName(phase)) + "/" + std::string(ToString(scheme)) + "/" +
+                     std::to_string(users) + "u",
+                 meas.stats_json);
   double files = static_cast<double>(files_per_user) * users;
   double secs = ToSeconds(meas.wall);
   return secs > 0 ? files / secs : 0;
@@ -58,6 +74,7 @@ int Main() {
       {Phase::kRemove, "Figure 5b: 1KB file removes (files/second)"},
       {Phase::kCreateRemove, "Figure 5c: 1KB file create/removes (pairs/second)"},
   };
+  StatsSidecar sidecar("bench_fig5_throughput");
   for (const auto& ph : kPhases) {
     printf("%s\n", ph.title);
     PrintRule(78);
@@ -70,7 +87,7 @@ int Main() {
     for (Scheme s : AllSchemes()) {
       printf("%-18s", std::string(ToString(s)).c_str());
       for (int users : kUserCounts) {
-        double tput = RunPhase(s, ph.phase, users, kTotalFiles / users);
+        double tput = RunPhase(s, ph.phase, users, kTotalFiles / users, sidecar);
         printf(" %13.1f", tput);
       }
       printf("\n");

@@ -5,7 +5,7 @@
 namespace mufs {
 namespace {
 
-double RunSdet(Scheme scheme, int concurrency) {
+double RunSdet(Scheme scheme, int concurrency, StatsSidecar& sidecar) {
   MachineConfig cfg = BenchConfig(scheme, /*alloc_init=*/scheme == Scheme::kSoftUpdates);
   Machine m(cfg);
   SetupFn setup = [](Machine&, Proc&) -> Task<void> { co_return; };
@@ -15,6 +15,8 @@ double RunSdet(Scheme scheme, int concurrency) {
   };
   RunMeasurement meas = RunMultiUser(m, concurrency, setup, body,
                                      /*drop_caches_after_setup=*/false);
+  sidecar.Append(std::string(ToString(scheme)) + "/" + std::to_string(concurrency) + "c",
+                 meas.stats_json);
   double hours = ToSeconds(meas.wall) / 3600.0;
   return hours > 0 ? static_cast<double>(concurrency) / hours : 0;
 }
@@ -29,10 +31,11 @@ int Main() {
   }
   printf("\n");
   PrintRule(78);
+  StatsSidecar sidecar("bench_fig6_sdet");
   for (Scheme s : AllSchemes()) {
     printf("%-18s", std::string(ToString(s)).c_str());
     for (int c : kConcurrency) {
-      printf(" %13.1f", RunSdet(s, c));
+      printf(" %13.1f", RunSdet(s, c, sidecar));
     }
     printf("\n");
   }

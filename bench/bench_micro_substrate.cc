@@ -4,6 +4,7 @@
 // table/figure benches painfully slow).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "src/core/machine.h"
 #include "src/disk/disk_model.h"
 #include "src/workload/workloads.h"
@@ -85,7 +86,39 @@ BENCHMARK(BM_FileCreateSimulated)
     ->Arg(static_cast<int>(Scheme::kSoftUpdates))
     ->Arg(static_cast<int>(Scheme::kNoOrder));
 
+// Sidecar companion: the micro-benchmarks measure host time (not
+// simulated time), so they cannot emit per-run stats themselves. Run one
+// small deterministic simulated workload instead so this binary, like
+// every other bench, leaves a machine-readable record behind.
+void EmitSidecar() {
+  StatsSidecar sidecar("bench_micro_substrate");
+  MachineConfig cfg;
+  cfg.scheme = Scheme::kSoftUpdates;
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  auto body = [](Machine* mm, Proc* pp, bool* flag) -> Task<void> {
+    co_await mm->Boot(*pp);
+    (void)co_await mm->fs().Mkdir(*pp, "/d");
+    (void)co_await CreateRemoveFiles(*mm, *pp, "/d", 50, 1024);
+    co_await mm->Shutdown(*pp);
+    *flag = true;
+  };
+  m.engine().Spawn(body(&m, &p, &done), "u");
+  m.engine().RunUntil([&] { return done; });
+  sidecar.Append("soft_updates/create_remove_50", m.DumpStatsJson());
+}
+
 }  // namespace
 }  // namespace mufs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  mufs::EmitSidecar();
+  return 0;
+}

@@ -53,12 +53,15 @@ int Main() {
 
   // Run No Order first to establish the baseline.
   double no_order_elapsed = 0;
+  StatsSidecar sidecar("bench_table1_copy");
   std::vector<std::pair<Row, RunMeasurement>> results;
   for (const Row& row : rows) {
     RunMeasurement meas = RunCopyBenchmark(BenchConfig(row.scheme, row.alloc_init), kUsers, tree);
     if (row.scheme == Scheme::kNoOrder) {
       no_order_elapsed = meas.ElapsedAvgSeconds();
     }
+    sidecar.Append(std::string(ToString(row.scheme)) + (row.alloc_init ? "/init" : "/noinit"),
+                   meas.stats_json);
     results.emplace_back(row, meas);
   }
   for (const auto& [row, meas] : results) {

@@ -30,12 +30,14 @@ int Main() {
   PrintRule();
 
   double no_order_elapsed = 0;
+  StatsSidecar sidecar("bench_table2_remove");
   std::vector<std::pair<Scheme, RunMeasurement>> results;
   for (Scheme s : AllSchemes()) {
     RunMeasurement meas = RunRemoveBenchmark(BenchConfig(s), kUsers, tree);
     if (s == Scheme::kNoOrder) {
       no_order_elapsed = meas.ElapsedAvgSeconds();
     }
+    sidecar.Append(std::string(ToString(s)), meas.stats_json);
     results.emplace_back(s, meas);
   }
   for (const auto& [s, meas] : results) {

@@ -34,6 +34,7 @@ int Main() {
   printf("%-18s %9s %9s %9s %9s %9s %9s\n", "Scheme", "MakeDir", "Copy", "ScanDir", "ReadAll",
          "Compile", "Total");
   PrintRule(96);
+  StatsSidecar sidecar("bench_table3_andrew");
   for (Scheme s : AllSchemes()) {
     MachineConfig cfg = BenchConfig(s, /*alloc_init=*/s == Scheme::kSoftUpdates);
     Machine m(cfg);
@@ -44,7 +45,8 @@ int Main() {
     UserFn body = [&tree, &times](Machine& mm, Proc& p, int) -> Task<void> {
       times = co_await AndrewBenchmark(mm, p, tree, "/andrew-src", "/andrew-work");
     };
-    (void)RunMultiUser(m, 1, setup, body);
+    RunMeasurement meas = RunMultiUser(m, 1, setup, body);
+    sidecar.Append(std::string(ToString(s)), meas.stats_json);
     printf("%-18s %9.2f %9.2f %9.2f %9.2f %9.1f %9.1f\n", std::string(ToString(s)).c_str(),
            times.make_dir, times.copy, times.scan_dir, times.read_all, times.compile,
            times.Total());

@@ -13,6 +13,38 @@ BufferCache::BufferCache(Engine* engine, DiskDriver* driver, CacheConfig config)
       capacity_cv_(engine) {
   zero_block_->fill(0);
   hooks_ = &default_hooks_;
+  if (config_.stats != nullptr) {
+    stats_ = config_.stats;
+  } else {
+    owned_stats_ = std::make_unique<StatsRegistry>();
+    owned_stats_->SetClock([engine] { return engine->Now(); });
+    stats_ = owned_stats_.get();
+  }
+  stat_hits_ = &stats_->counter("cache.hits");
+  stat_misses_ = &stats_->counter("cache.misses");
+  stat_delayed_writes_ = &stats_->counter("cache.delayed_writes");
+  stat_write_issues_ = &stats_->counter("cache.write_issues");
+  stat_sync_writes_ = &stats_->counter("cache.sync_writes");
+  stat_write_lock_waits_ = &stats_->counter("cache.write_lock_waits");
+  stat_block_copies_ = &stats_->counter("cache.block_copies");
+  stat_copy_budget_waits_ = &stats_->counter("cache.copy_budget_waits");
+  stat_evictions_ = &stats_->counter("cache.evictions");
+  stat_dirty_ = &stats_->gauge("cache.dirty_blocks");
+  stat_copies_out_ = &stats_->gauge("cache.outstanding_copies");
+}
+
+CacheStats BufferCache::stats() const {
+  CacheStats s;
+  s.hits = stat_hits_->value();
+  s.misses = stat_misses_->value();
+  s.delayed_writes = stat_delayed_writes_->value();
+  s.write_issues = stat_write_issues_->value();
+  s.sync_writes = stat_sync_writes_->value();
+  s.write_lock_waits = stat_write_lock_waits_->value();
+  s.block_copies = stat_block_copies_->value();
+  s.copy_budget_waits = stat_copy_budget_waits_->value();
+  s.evictions = stat_evictions_->value();
+  return s;
 }
 
 void BufferCache::Touch(Buf& buf) {
@@ -27,7 +59,10 @@ Task<BufRef> BufferCache::GetBuf(uint32_t blkno, bool read_fill) {
   auto it = buffers_.find(blkno);
   if (it != buffers_.end()) {
     BufRef buf = it->second;
-    ++stats_.hits;
+    stat_hits_->Inc();
+    if (stats_->tracing()) {
+      stats_->Trace("cache.hit", {{"blkno", blkno}});
+    }
     Touch(*buf);
     // Wait out an in-progress fill by another process.
     while (!buf->valid_) {
@@ -37,7 +72,10 @@ Task<BufRef> BufferCache::GetBuf(uint32_t blkno, bool read_fill) {
     co_return buf;
   }
 
-  ++stats_.misses;
+  stat_misses_->Inc();
+  if (stats_->tracing()) {
+    stats_->Trace("cache.miss", {{"blkno", blkno}, {"read_fill", read_fill}});
+  }
   // Insert before any suspension: a second miss for the same block while
   // we wait must find this buffer (and block on valid_), never create a
   // duplicate.
@@ -82,7 +120,10 @@ Task<void> BufferCache::EnsureCapacity() {
       }
     }
     if (victim != nullptr) {
-      ++stats_.evictions;
+      stat_evictions_->Inc();
+      if (stats_->tracing()) {
+        stats_->Trace("cache.evict", {{"blkno", victim->blkno_}});
+      }
       lru_.erase(victim->lru_tick_);
       buffers_.erase(victim->blkno_);
       co_return;
@@ -101,7 +142,7 @@ Task<void> BufferCache::EnsureCapacity() {
 
 Task<void> BufferCache::BeginUpdate(Buf& buf) {
   if (buf.io_locked_ && config_.collect_stats) {
-    ++stats_.write_lock_waits;
+    stat_write_lock_waits_->Inc();
   }
   while (buf.io_locked_) {
     co_await buf.io_cv_.Await();
@@ -118,7 +159,8 @@ void BufferCache::MarkDirty(Buf& buf) {
   assert(buf.valid_);
   if (!buf.dirty_) {
     buf.dirty_ = true;
-    ++stats_.delayed_writes;
+    stat_delayed_writes_->Inc();
+    stat_dirty_->Add(1);
   }
 }
 
@@ -130,13 +172,19 @@ void BufferCache::MarkDirty(uint32_t blkno) {
 }
 
 uint64_t BufferCache::IssueWrite(BufRef buf, OrderingTag tag, bool from_syncer) {
-  (void)from_syncer;
   assert(buf->valid_);
   assert(config_.copy_blocks || buf->writes_in_flight_ == 0);
   buf->writes_in_flight_++;
+  if (buf->dirty_) {
+    stat_dirty_->Add(-1);
+  }
   buf->dirty_ = false;
   buf->syncer_mark_ = false;
-  ++stats_.write_issues;
+  stat_write_issues_->Inc();
+  if (stats_->tracing()) {
+    stats_->Trace("cache.flush",
+                  {{"blkno", buf->blkno_}, {"from_syncer", from_syncer}, {"flag", tag.flag}});
+  }
   if (!buf->pending_write_deps_.empty()) {
     tag.deps.insert(tag.deps.end(), buf->pending_write_deps_.begin(),
                     buf->pending_write_deps_.end());
@@ -156,8 +204,9 @@ uint64_t BufferCache::IssueWrite(BufRef buf, OrderingTag tag, bool from_syncer) 
   } else if (config_.copy_blocks) {
     // -CB: clone now; the buffer stays modifiable during the I/O.
     io_src = std::make_shared<BlockData>(*buf->data_);
-    ++stats_.block_copies;
+    stat_block_copies_->Inc();
     ++outstanding_copies_;
+    stat_copies_out_->Set(static_cast<int64_t>(outstanding_copies_));
     made_copy = true;
   } else {
     io_src = buf->data_;
@@ -171,6 +220,8 @@ uint64_t BufferCache::IssueWrite(BufRef buf, OrderingTag tag, bool from_syncer) 
                                       buf->writes_in_flight_--;
                                       if (made_copy) {
                                         --outstanding_copies_;
+                                        stat_copies_out_->Set(
+                                            static_cast<int64_t>(outstanding_copies_));
                                         capacity_cv_.NotifyAll();
                                       }
                                       hooks_->WriteDone(*buf);
@@ -182,7 +233,7 @@ uint64_t BufferCache::IssueWrite(BufRef buf, OrderingTag tag, bool from_syncer) 
 }
 
 Task<void> BufferCache::Bwrite(BufRef buf, OrderingTag tag) {
-  ++stats_.sync_writes;
+  stat_sync_writes_->Inc();
   while (!config_.copy_blocks && buf->writes_in_flight_ > 0) {
     co_await buf->io_cv_.Await();
   }
@@ -198,7 +249,7 @@ Task<uint64_t> BufferCache::Bawrite(BufRef buf, OrderingTag tag) {
   // the copies consume memory, bounded by the copy budget.
   if (!config_.copy_blocks) {
     if (buf->writes_in_flight_ > 0 && config_.collect_stats) {
-      ++stats_.write_lock_waits;
+      stat_write_lock_waits_->Inc();
     }
     while (buf->writes_in_flight_ > 0) {
       co_await buf->io_cv_.Await();
@@ -213,7 +264,7 @@ Task<void> BufferCache::WaitForCopyBudget() {
     co_return;
   }
   if (outstanding_copies_ >= config_.copy_budget_blocks && config_.collect_stats) {
-    ++stats_.copy_budget_waits;
+    stat_copy_budget_waits_->Inc();
   }
   while (outstanding_copies_ >= config_.copy_budget_blocks) {
     co_await capacity_cv_.Await();

@@ -34,6 +34,7 @@
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/stats/stats_registry.h"
 
 namespace mufs {
 
@@ -121,8 +122,13 @@ struct CacheConfig {
   // memory" regime, section 3.1/3.3).
   size_t copy_budget_blocks = 2048;
   bool collect_stats = true;
+  // Shared metrics registry (the Machine's). When null the cache owns a
+  // private registry, so standalone construction needs no guards.
+  StatsRegistry* stats = nullptr;
 };
 
+// Snapshot of the cache.* registry counters (kept as a struct so call
+// sites read fields instead of metric names).
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -145,7 +151,8 @@ class BufferCache {
   Engine* engine() const { return engine_; }
   DiskDriver* driver() const { return driver_; }
   const CacheConfig& config() const { return config_; }
-  const CacheStats& stats() const { return stats_; }
+  CacheStats stats() const;  // Snapshot of the cache.* counters.
+  StatsRegistry* stats_registry() const { return stats_; }
 
   // Returns the block, reading it from disk on a miss.
   Task<BufRef> Bread(uint32_t blkno);
@@ -222,7 +229,21 @@ class BufferCache {
   DiskDriver* driver_;
   CacheConfig config_;
   DepHooks* hooks_ = nullptr;
-  CacheStats stats_;
+
+  // Metrics (either the Machine's registry or owned_stats_).
+  std::unique_ptr<StatsRegistry> owned_stats_;
+  StatsRegistry* stats_ = nullptr;
+  Counter* stat_hits_ = nullptr;
+  Counter* stat_misses_ = nullptr;
+  Counter* stat_delayed_writes_ = nullptr;
+  Counter* stat_write_issues_ = nullptr;
+  Counter* stat_sync_writes_ = nullptr;
+  Counter* stat_write_lock_waits_ = nullptr;
+  Counter* stat_block_copies_ = nullptr;
+  Counter* stat_copy_budget_waits_ = nullptr;
+  Counter* stat_evictions_ = nullptr;
+  Gauge* stat_dirty_ = nullptr;
+  Gauge* stat_copies_out_ = nullptr;
 
   std::unordered_map<uint32_t, BufRef> buffers_;
   std::map<uint64_t, Buf*> lru_;  // tick -> buffer, oldest first.

@@ -3,7 +3,11 @@
 namespace mufs {
 
 SyncerDaemon::SyncerDaemon(Engine* engine, BufferCache* cache, SyncerConfig config)
-    : engine_(engine), cache_(cache), config_(config) {}
+    : engine_(engine), cache_(cache), config_(config) {
+  stats_ = config_.stats != nullptr ? config_.stats : cache_->stats_registry();
+  stat_passes_ = &stats_->counter("syncer.passes");
+  stat_workitems_ = &stats_->counter("syncer.workitems");
+}
 
 void SyncerDaemon::Start() {
   if (started_) {
@@ -22,7 +26,7 @@ Task<void> SyncerDaemon::RunWorkQueue() {
   while (!work_queue_.empty()) {
     auto work = std::move(work_queue_.front());
     work_queue_.pop_front();
-    ++workitems_;
+    stat_workitems_->Inc();
     co_await work();
   }
 }
@@ -43,7 +47,12 @@ Task<void> SyncerDaemon::Loop() {
       break;
     }
     co_await RunWorkQueue();
-    ++passes_;
+    stat_passes_->Inc();
+    if (stats_->tracing()) {
+      stats_->Trace("syncer.pass", {{"pass", stat_passes_->value()},
+                                    {"dirty", cache_->DirtyCount()},
+                                    {"pending_work", work_queue_.size()}});
+    }
     cache_->SyncerPass(1.0 / config_.sweep_seconds);
   }
 }

@@ -22,6 +22,8 @@ struct SyncerConfig {
   SimDuration interval = Sec(1);
   // Full cache coverage every `sweep_seconds` worth of passes.
   int sweep_seconds = 30;
+  // Shared metrics registry; falls back to the cache's when null.
+  StatsRegistry* stats = nullptr;
 };
 
 class SyncerDaemon {
@@ -44,8 +46,8 @@ class SyncerDaemon {
   // enqueue more work.
   Task<void> DrainWork();
 
-  uint64_t PassesRun() const { return passes_; }
-  uint64_t WorkitemsRun() const { return workitems_; }
+  uint64_t PassesRun() const { return stat_passes_->value(); }
+  uint64_t WorkitemsRun() const { return stat_workitems_->value(); }
 
  private:
   Task<void> Loop();
@@ -54,11 +56,12 @@ class SyncerDaemon {
   Engine* engine_;
   BufferCache* cache_;
   SyncerConfig config_;
+  StatsRegistry* stats_ = nullptr;
+  Counter* stat_passes_ = nullptr;
+  Counter* stat_workitems_ = nullptr;
   bool running_ = false;
   bool started_ = false;
   std::deque<std::function<Task<void>()>> work_queue_;
-  uint64_t passes_ = 0;
-  uint64_t workitems_ = 0;
 };
 
 }  // namespace mufs

@@ -22,9 +22,10 @@ std::string_view ToString(Scheme s) {
 
 namespace {
 
-DriverConfig MakeDriverConfig(const MachineConfig& cfg) {
+DriverConfig MakeDriverConfig(const MachineConfig& cfg, StatsRegistry* stats) {
   DriverConfig d;
   d.collect_traces = cfg.collect_traces;
+  d.stats = stats;
   switch (cfg.scheme) {
     case Scheme::kSchedulerFlag:
       d.mode = cfg.ignore_flags ? OrderingMode::kNone : OrderingMode::kFlag;
@@ -43,9 +44,10 @@ DriverConfig MakeDriverConfig(const MachineConfig& cfg) {
   return d;
 }
 
-CacheConfig MakeCacheConfig(const MachineConfig& cfg) {
+CacheConfig MakeCacheConfig(const MachineConfig& cfg, StatsRegistry* stats) {
   CacheConfig c;
   c.capacity_blocks = cfg.cache_capacity_blocks;
+  c.stats = stats;
   // -CB only matters for schemes that issue ordered async writes while
   // processes keep updating the metadata.
   c.copy_blocks = cfg.copy_blocks && (cfg.scheme == Scheme::kSchedulerFlag ||
@@ -75,11 +77,20 @@ Machine::Machine(MachineConfig config) : config_(config) {
   image_ = std::make_unique<DiskImage>(config_.geometry.total_blocks);
   model_ = std::make_unique<DiskModel>(config_.geometry);
   engine_ = std::make_unique<Engine>();
+  stats_ = std::make_unique<StatsRegistry>();
+  stats_->SetClock([e = engine_.get()] { return e->Now(); });
+  if (config_.collect_stats_trace) {
+    stats_->EnableTrace(config_.stats_trace_cap);
+  }
+  model_->AttachStats(stats_.get());
   cpu_ = std::make_unique<Cpu>(engine_.get());
   driver_ = std::make_unique<DiskDriver>(engine_.get(), model_.get(), image_.get(),
-                                         MakeDriverConfig(config_));
-  cache_ = std::make_unique<BufferCache>(engine_.get(), driver_.get(), MakeCacheConfig(config_));
-  syncer_ = std::make_unique<SyncerDaemon>(engine_.get(), cache_.get(), config_.syncer);
+                                         MakeDriverConfig(config_, stats_.get()));
+  cache_ = std::make_unique<BufferCache>(engine_.get(), driver_.get(),
+                                         MakeCacheConfig(config_, stats_.get()));
+  SyncerConfig syncer_cfg = config_.syncer;
+  syncer_cfg.stats = stats_.get();
+  syncer_ = std::make_unique<SyncerDaemon>(engine_.get(), cache_.get(), syncer_cfg);
 
   FsConfig fs_cfg;
   // The paper's "Alloc. Init." toggle applies to regular file data for
@@ -87,6 +98,7 @@ Machine::Machine(MachineConfig config) : config_(config) {
   // it there costs only 3.8%).
   fs_cfg.alloc_init = config_.alloc_init;
   fs_cfg.costs = config_.cpu_costs;
+  fs_cfg.stats = stats_.get();
   fs_ = std::make_unique<FileSystem>(engine_.get(), cpu_.get(), cache_.get(), syncer_.get(),
                                      fs_cfg);
   if (config_.format) {
@@ -119,6 +131,33 @@ Task<void> Machine::Boot(Proc& proc) {
 Task<void> Machine::Shutdown(Proc& proc) {
   co_await fs_->SyncEverything(proc);
   syncer_->Stop();
+}
+
+std::string Machine::DumpStatsJson() const {
+  // Identity + derived figures first, then the raw registry dump. All
+  // deterministic: sorted keys, sim-clock timestamps, %.9g doubles.
+  uint64_t busy = stats_->counter("disk.busy_ns").value();
+  uint64_t hits = stats_->counter("cache.hits").value();
+  uint64_t misses = stats_->counter("cache.misses").value();
+  SimTime now = engine_->Now();
+  double utilization = now > 0 ? static_cast<double>(busy) / static_cast<double>(now) : 0.0;
+  double hit_rate =
+      hits + misses > 0 ? static_cast<double>(hits) / static_cast<double>(hits + misses) : 0.0;
+
+  std::string out = "{\"scheme\":\"";
+  JsonEscape(ToString(config_.scheme), &out);
+  out += "\",\"seed\":";
+  out += std::to_string(config_.seed);
+  out += ",\"sim_time_ns\":";
+  out += std::to_string(now);
+  out += ",\"derived\":{\"cache.hit_rate\":";
+  out += JsonDouble(hit_rate);
+  out += ",\"disk.utilization\":";
+  out += JsonDouble(utilization);
+  out += "},\"metrics\":";
+  out += stats_->DumpJson();
+  out += "}";
+  return out;
 }
 
 }  // namespace mufs

@@ -63,6 +63,11 @@ struct MachineConfig {
   uint32_t total_inodes = 32768;
   uint64_t seed = 42;
   bool collect_traces = true;
+  // Stream per-event JSONL trace records into the stats registry
+  // (disk issue/service/complete, cache hit/miss/flush, syncer sweeps,
+  // policy ordering points, soft-updates rollback/redo).
+  bool collect_stats_trace = false;
+  size_t stats_trace_cap = 1 << 20;
   // Format a fresh file system in the image at construction.
   bool format = true;
 };
@@ -84,6 +89,13 @@ class Machine {
   SyncerDaemon& syncer() { return *syncer_; }
   FileSystem& fs() { return *fs_; }
   OrderingPolicy& policy() { return *policy_; }
+  StatsRegistry& stats() { return *stats_; }
+  const StatsRegistry& stats() const { return *stats_; }
+
+  // All metrics plus derived figures (disk utilization, cache hit rate)
+  // and run identity (scheme, seed, simulated time) as one deterministic
+  // JSON object - the machine-readable sidecar every bench emits.
+  std::string DumpStatsJson() const;
 
   Proc MakeProc(std::string name);
 
@@ -105,6 +117,7 @@ class Machine {
 
  private:
   MachineConfig config_;
+  std::unique_ptr<StatsRegistry> stats_;
   std::unique_ptr<DiskImage> image_;
   std::unique_ptr<DiskModel> model_;
   std::unique_ptr<Engine> engine_;

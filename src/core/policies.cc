@@ -1,8 +1,33 @@
 #include "src/core/policies.h"
 
 #include <algorithm>
+#include <string>
 
 namespace mufs {
+
+// ---------------------------------------------------------------------
+// Base plumbing
+// ---------------------------------------------------------------------
+
+void OrderingPolicy::Attach(FileSystem* fs) {
+  fs_ = fs;
+  stats_ = fs->stats();
+  stat_ordering_points_ = &stats_->counter("policy.ordering_points");
+}
+
+void OrderingPolicy::NoteOrderingPoint(std::string_view point, std::string_view action) {
+  if (stats_ == nullptr) {
+    return;  // Never attached (unit tests poking a bare policy).
+  }
+  stat_ordering_points_->Inc();
+  std::string name = "policy.";
+  name += point;
+  stats_->counter(name).Inc();
+  if (stats_->tracing()) {
+    stats_->Trace("policy.ordering_point",
+                  {{"scheme", Name()}, {"point", point}, {"action", action}});
+  }
+}
 
 // ---------------------------------------------------------------------
 // Shared drain loop
@@ -33,6 +58,7 @@ Task<void> OrderingPolicy::DrainAllDirty(Proc& proc) {
 Task<void> NoOrderPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
                                           bool init_required) {
   (void)init_required;  // Ignored: that is the point of this baseline.
+  NoteOrderingPoint("alloc", "delayed");
   co_await fs()->CommitBlockPointer(proc, ip, loc, data_buf->blkno());
 }
 
@@ -40,6 +66,7 @@ Task<void> NoOrderPolicy::SetupBlockFree(Proc& proc, Inode& ip, std::vector<uint
                                          std::vector<BufRef> updated_indirects) {
   (void)ip;
   (void)updated_indirects;  // Already marked dirty; syncer handles them.
+  NoteOrderingPoint("block_free", "delayed");
   co_await fs()->FreeBlocksInBitmap(proc, blocks);
 }
 
@@ -51,6 +78,7 @@ Task<void> NoOrderPolicy::SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_buf, u
   (void)offset;
   (void)target;
   (void)new_inode;
+  NoteOrderingPoint("link_add", "delayed");
   co_return;  // Everything is already a delayed write.
 }
 
@@ -62,10 +90,12 @@ Task<void> NoOrderPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef dir_buf
   (void)offset;
   (void)old_entry;
   (void)rename;
+  NoteOrderingPoint("link_remove", "delayed");
   co_await fs()->ReleaseLink(proc, removed_ino);
 }
 
 Task<void> NoOrderPolicy::SetupInodeFree(Proc& proc, Inode& ip) {
+  NoteOrderingPoint("inode_free", "delayed");
   co_await fs()->FreeInodeInBitmap(proc, ip.ino);
 }
 
@@ -77,6 +107,7 @@ Task<void> NoOrderPolicy::FlushAll(Proc& proc) { co_await DrainAllDirty(proc); }
 
 Task<void> ConventionalPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf,
                                                PtrLoc loc, bool init_required) {
+  NoteOrderingPoint("alloc", init_required ? "sync_write" : "delayed");
   if (init_required) {
     // Synchronously write zeroes to the new block before the pointer can
     // reach its carrier. The reserved zero block is the I/O source
@@ -96,6 +127,7 @@ Task<void> ConventionalPolicy::SetupBlockFree(Proc& proc, Inode& ip,
   // The reset pointers must be on disk before the blocks may be reused:
   // synchronous writes of the inode and any surviving indirect blocks,
   // then the bitmaps are updated (delayed) and reuse is immediate.
+  NoteOrderingPoint("block_free", "sync_write");
   co_await fs()->FlushInodeToBuffer(ip);
   SimTime t0 = fs()->engine()->Now();
   co_await fs()->cache()->Bwrite(ip.itable_buf);
@@ -115,6 +147,7 @@ Task<void> ConventionalPolicy::SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_b
   // The (possibly new) inode must be on disk before the entry; the
   // directory block itself stays a delayed write ("the last write in a
   // series of metadata updates is asynchronous or delayed").
+  NoteOrderingPoint("link_add", "sync_write");
   co_await fs()->FlushInodeToBuffer(target);
   SimTime t0 = fs()->engine()->Now();
   co_await fs()->cache()->Bwrite(target.itable_buf);
@@ -128,9 +161,11 @@ Task<void> ConventionalPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef di
   (void)dir;
   (void)offset;
   (void)old_entry;
+  NoteOrderingPoint("link_remove", "sync_write");
   SimTime t0 = fs()->engine()->Now();
   if (rename != nullptr && rename->new_dir_buf->blkno() != dir_buf->blkno()) {
     // Rule 1: the new name reaches disk before the old one is cleared.
+    NoteOrderingPoint("rename_fence", "sync_write");
     co_await fs()->cache()->Bwrite(rename->new_dir_buf);
   }
   // Rule 2: the cleared entry reaches disk before the link count drops.
@@ -140,6 +175,7 @@ Task<void> ConventionalPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef di
 }
 
 Task<void> ConventionalPolicy::SetupInodeFree(Proc& proc, Inode& ip) {
+  NoteOrderingPoint("inode_free", "sync_write");
   // The truncation usually wrote the reset inode (mode already 0) a
   // moment ago; only write again if something changed since.
   if (ip.dirty || ip.itable_buf->dirty()) {
@@ -159,6 +195,7 @@ Task<void> ConventionalPolicy::FlushAll(Proc& proc) { co_await DrainAllDirty(pro
 
 Task<void> SchedulerFlagPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf,
                                                 PtrLoc loc, bool init_required) {
+  NoteOrderingPoint("alloc", init_required ? "flagged_write" : "delayed");
   if (init_required) {
     // Asynchronous flagged init write from the zero block; the pointer
     // carrier's write is issued later, hence ordered after it.
@@ -175,6 +212,7 @@ Task<void> SchedulerFlagPolicy::SetupBlockFree(Proc& proc, Inode& ip,
   // out as flagged asynchronous writes; reuse is immediate because any
   // later write (e.g. re-initialization of a reused block) is issued
   // after the flagged request and therefore ordered behind it.
+  NoteOrderingPoint("block_free", "flagged_write");
   co_await fs()->FlushInodeToBuffer(ip);
   OrderingTag flagged;
   flagged.flag = true;
@@ -192,6 +230,7 @@ Task<void> SchedulerFlagPolicy::SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_
   (void)offset;
   (void)new_inode;
   (void)proc;
+  NoteOrderingPoint("link_add", "flagged_write");
   co_await fs()->FlushInodeToBuffer(target);
   OrderingTag flagged;
   flagged.flag = true;
@@ -205,9 +244,11 @@ Task<void> SchedulerFlagPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef d
   (void)dir;
   (void)offset;
   (void)old_entry;
+  NoteOrderingPoint("link_remove", "flagged_write");
   OrderingTag flagged;
   flagged.flag = true;
   if (rename != nullptr && rename->new_dir_buf->blkno() != dir_buf->blkno()) {
+    NoteOrderingPoint("rename_fence", "flagged_write");
     (void)co_await fs()->cache()->Bawrite(rename->new_dir_buf, flagged);
   }
   (void)co_await fs()->cache()->Bawrite(dir_buf, flagged);
@@ -215,6 +256,7 @@ Task<void> SchedulerFlagPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef d
 }
 
 Task<void> SchedulerFlagPolicy::SetupInodeFree(Proc& proc, Inode& ip) {
+  NoteOrderingPoint("inode_free", "flagged_write");
   if (ip.dirty || ip.itable_buf->dirty()) {
     co_await fs()->FlushInodeToBuffer(ip);
     OrderingTag free_tag;
@@ -251,6 +293,7 @@ std::vector<uint64_t> SchedulerChainPolicy::BarrierDeps() {
 
 Task<void> SchedulerChainPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf,
                                                  PtrLoc loc, bool init_required) {
+  NoteOrderingPoint("alloc", init_required ? "chain_dep" : "delayed");
   std::vector<uint64_t> reuse =
       track_freed_ ? ReuseDeps(data_buf->blkno()) : BarrierDeps();
   if (init_required) {
@@ -279,6 +322,7 @@ Task<void> SchedulerChainPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef d
 Task<void> SchedulerChainPolicy::SetupBlockFree(Proc& proc, Inode& ip,
                                                 std::vector<uint32_t> blocks,
                                                 std::vector<BufRef> updated_indirects) {
+  NoteOrderingPoint("block_free", "chain_dep");
   co_await fs()->FlushInodeToBuffer(ip);
   std::vector<uint64_t> reset_writes;
   reset_writes.push_back(co_await fs()->cache()->Bawrite(ip.itable_buf));
@@ -301,6 +345,7 @@ Task<void> SchedulerChainPolicy::SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir
   (void)offset;
   (void)new_inode;
   (void)proc;
+  NoteOrderingPoint("link_add", "chain_dep");
   co_await fs()->FlushInodeToBuffer(target);
   // NOTE: no non-trivial temporaries in co_await argument lists (GCC 12
   // double-destroys them); build the tag as a local and move it.
@@ -320,7 +365,9 @@ Task<void> SchedulerChainPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef 
   (void)dir;
   (void)offset;
   (void)old_entry;
+  NoteOrderingPoint("link_remove", "chain_dep");
   if (rename != nullptr && rename->new_dir_buf->blkno() != dir_buf->blkno()) {
+    NoteOrderingPoint("rename_fence", "chain_dep");
     uint64_t new_id = co_await fs()->cache()->Bawrite(rename->new_dir_buf);
     fs()->cache()->AddWriteDep(*dir_buf, new_id);
   }
@@ -341,6 +388,7 @@ Task<void> SchedulerChainPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef 
 }
 
 Task<void> SchedulerChainPolicy::SetupInodeFree(Proc& proc, Inode& ip) {
+  NoteOrderingPoint("inode_free", "chain_dep");
   OrderingTag tag;
   auto it = inode_remove_write_.find(ip.ino);
   if (it != inode_remove_write_.end()) {

@@ -25,13 +25,43 @@ SoftUpdatesPolicy::SoftUpdatesPolicy() {
   hooks_ = std::make_unique<SoftDepHooks>(this);
   sys_proc_.pid = kSystemPid;
   sys_proc_.name = "softdep";
+  owned_stats_ = std::make_unique<StatsRegistry>();
+  BindStats(owned_stats_.get());
 }
 
 SoftUpdatesPolicy::~SoftUpdatesPolicy() = default;
 
 DepHooks* SoftUpdatesPolicy::CacheHooks() { return hooks_.get(); }
 
-void SoftUpdatesPolicy::Attach(FileSystem* fs) { OrderingPolicy::Attach(fs); }
+void SoftUpdatesPolicy::Attach(FileSystem* fs) {
+  OrderingPolicy::Attach(fs);
+  BindStats(fs->stats());
+}
+
+void SoftUpdatesPolicy::BindStats(StatsRegistry* stats) {
+  su_stats_ = stats;
+  stat_alloc_deps_ = &stats->counter("su.alloc_deps");
+  stat_dir_adds_ = &stats->counter("su.dir_adds");
+  stat_dir_rems_ = &stats->counter("su.dir_rems");
+  stat_cancelled_pairs_ = &stats->counter("su.cancelled_pairs");
+  stat_undos_ = &stats->counter("su.undos");
+  stat_redos_ = &stats->counter("su.redos");
+  stat_deferred_frees_ = &stats->counter("su.deferred_frees");
+  stat_workitems_ = &stats->counter("su.workitems");
+}
+
+SoftUpdatesPolicy::Stats SoftUpdatesPolicy::stats() const {
+  Stats s;
+  s.alloc_deps = stat_alloc_deps_->value();
+  s.dir_adds = stat_dir_adds_->value();
+  s.dir_rems = stat_dir_rems_->value();
+  s.cancelled_pairs = stat_cancelled_pairs_->value();
+  s.undos = stat_undos_->value();
+  s.redos = stat_redos_->value();
+  s.deferred_frees = stat_deferred_frees_->value();
+  s.workitems = stat_workitems_->value();
+  return s;
+}
 
 SoftUpdatesPolicy::BlockDeps* SoftUpdatesPolicy::FindDeps(uint32_t blkno) {
   auto it = deps_.find(blkno);
@@ -111,6 +141,7 @@ uint32_t PointerOffset(const SuperBlock& sb, const Inode& ip, const PtrLoc& loc)
 
 Task<void> SoftUpdatesPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
                                               bool init_required) {
+  NoteOrderingPoint("alloc", init_required ? "dep_record" : "delayed");
   if (!init_required) {
     // Alloc-init disabled for plain file data (the paper's "N" rows):
     // the pointer may reach disk before the data block does.
@@ -142,7 +173,7 @@ Task<void> SoftUpdatesPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data
   newblk_[data_buf->blkno()] = dep.get();
   PinInode(ip.ino);
   DepsFor(carrier).allocs.push_back(std::move(dep));
-  ++stats_.alloc_deps;
+  stat_alloc_deps_->Inc();
   // Now the pointer may enter the live carrier (undo protects it).
   co_await fs()->CommitBlockPointer(proc, ip, loc, data_buf->blkno());
 }
@@ -150,6 +181,7 @@ Task<void> SoftUpdatesPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data
 Task<void> SoftUpdatesPolicy::SetupBlockFree(Proc& proc, Inode& ip, std::vector<uint32_t> blocks,
                                              std::vector<BufRef> updated_indirects) {
   (void)proc;
+  NoteOrderingPoint("block_free", "dep_record");
   // Cancel outstanding allocation dependencies for blocks being freed
   // (paper: "outstanding alloc and allocsafe dependencies for
   // de-allocated blocks are freed at this point").
@@ -182,7 +214,12 @@ Task<void> SoftUpdatesPolicy::SetupBlockFree(Proc& proc, Inode& ip, std::vector<
   for (uint32_t c : carriers) {
     DepsFor(c).frees.push_back(FreeRef{f});
   }
-  ++stats_.deferred_frees;
+  stat_deferred_frees_->Inc();
+  if (su_stats_->tracing()) {
+    su_stats_->Trace("su.deferred_free",
+                     {{"kind", "blocks"}, {"n", f->blocks.size()},
+                      {"carriers", carriers.size()}});
+  }
   co_return;
 }
 
@@ -191,6 +228,7 @@ Task<void> SoftUpdatesPolicy::SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_bu
   (void)proc;
   (void)dir;
   (void)new_inode;
+  NoteOrderingPoint("link_add", "dep_record");
   auto add = std::make_unique<DirAddDep>();
   add->dir_blkno = dir_buf->blkno();
   add->offset = offset;
@@ -199,7 +237,7 @@ Task<void> SoftUpdatesPolicy::SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_bu
   inode_waiters_[add->itable_blkno].push_back(add.get());
   PinInode(target.ino);
   DepsFor(add->dir_blkno).adds.push_back(std::move(add));
-  ++stats_.dir_adds;
+  stat_dir_adds_->Inc();
   co_return;
 }
 
@@ -208,6 +246,7 @@ Task<void> SoftUpdatesPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef dir
                                               uint32_t removed_ino,
                                               const RenameContext* rename) {
   (void)dir;
+  NoteOrderingPoint("link_remove", rename != nullptr ? "dep_record_rename" : "dep_record");
   BlockDeps* bd = FindDeps(dir_buf->blkno());
   if (bd != nullptr) {
     // Cancellation: removing an entry whose addition never reached disk.
@@ -218,7 +257,7 @@ Task<void> SoftUpdatesPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef dir
         FinishAdd(it->get());
         bd->adds.erase(it);
         MaybeErase(dir_buf->blkno());
-        ++stats_.cancelled_pairs;
+        stat_cancelled_pairs_->Inc();
         co_await fs()->ReleaseLink(proc, removed_ino);
         co_return;
       }
@@ -244,12 +283,13 @@ Task<void> SoftUpdatesPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef dir
     }
   }
   DepsFor(rem->dir_blkno).rems.push_back(std::move(rem));
-  ++stats_.dir_rems;
+  stat_dir_rems_->Inc();
   co_return;  // ReleaseLink runs from the workitem queue later.
 }
 
 Task<void> SoftUpdatesPolicy::SetupInodeFree(Proc& proc, Inode& ip) {
   (void)proc;
+  NoteOrderingPoint("inode_free", "dep_record");
   // freefile: the inode bitmap bit clears only after the reset inode
   // (mode 0) reaches stable storage.
   auto f = std::make_shared<PendingFree>();
@@ -257,7 +297,10 @@ Task<void> SoftUpdatesPolicy::SetupInodeFree(Proc& proc, Inode& ip) {
   f->ino = ip.ino;
   f->remaining_carriers = 1;
   DepsFor(fs()->sb().ItableBlock(ip.ino)).frees.push_back(FreeRef{f});
-  ++stats_.deferred_frees;
+  stat_deferred_frees_->Inc();
+  if (su_stats_->tracing()) {
+    su_stats_->Trace("su.deferred_free", {{"kind", "inode"}, {"ino", ip.ino}});
+  }
   co_return;
 }
 
@@ -300,7 +343,10 @@ std::shared_ptr<const BlockData> SoftUpdatesPolicy::PrepareWrite(Buf& buf) {
         }
       }
       ad->undone_in_flight = true;
-      ++stats_.undos;
+      stat_undos_->Inc();
+      if (su_stats_->tracing()) {
+        su_stats_->Trace("su.rollback", {{"kind", "alloc"}, {"blkno", buf.blkno()}});
+      }
     } else {
       ad->captured = true;
     }
@@ -317,7 +363,10 @@ std::shared_ptr<const BlockData> SoftUpdatesPolicy::PrepareWrite(Buf& buf) {
       *buf.At<uint32_t>(ad->offset) = 0;  // Entry "unused".
       ad->undone_in_flight = true;
       buf.MarkRolledBack();
-      ++stats_.undos;
+      stat_undos_->Inc();
+      if (su_stats_->tracing()) {
+        su_stats_->Trace("su.rollback", {{"kind", "dir_add"}, {"blkno", buf.blkno()}});
+      }
     } else {
       ad->captured = true;
     }
@@ -327,7 +376,10 @@ std::shared_ptr<const BlockData> SoftUpdatesPolicy::PrepareWrite(Buf& buf) {
       memcpy(buf.data().data() + rm->offset, &rm->old_entry, sizeof(DirEntry));
       rm->undone_in_flight = true;
       buf.MarkRolledBack();
-      ++stats_.undos;
+      stat_undos_->Inc();
+      if (su_stats_->tracing()) {
+        su_stats_->Trace("su.rollback", {{"kind", "dir_rem"}, {"blkno", buf.blkno()}});
+      }
     } else {
       rm->captured = true;
     }
@@ -386,14 +438,14 @@ void SoftUpdatesPolicy::RemoveInodeWaiter(DirAddDep* add) {
 
 void SoftUpdatesPolicy::QueueRemWorkitem(DirRemDep* rem) {
   uint32_t ino = rem->removed_ino;
-  ++stats_.workitems;
+  stat_workitems_->Inc();
   fs()->syncer()->EnqueueWork([this, ino]() -> Task<void> {
     co_await fs()->ReleaseLink(sys_proc_, ino);
   });
 }
 
 void SoftUpdatesPolicy::QueueFreeWorkitem(const std::shared_ptr<PendingFree>& f) {
-  ++stats_.workitems;
+  stat_workitems_->Inc();
   fs()->syncer()->EnqueueWork([this, f]() -> Task<void> {
     if (f->is_inode) {
       co_await fs()->FreeInodeInBitmap(sys_proc_, f->ino);
@@ -469,7 +521,10 @@ void SoftUpdatesPolicy::WriteDone(Buf& buf) {
                sizeof(DiskInode));
       }
       ad->undone_in_flight = false;
-      ++stats_.redos;
+      stat_redos_->Inc();
+      if (su_stats_->tracing()) {
+        su_stats_->Trace("su.redo", {{"kind", "alloc"}, {"blkno", buf.blkno()}});
+      }
       ++ad_it;
     } else if (ad->captured && ad->init_done) {
       UnpinInode(ad->owner_ino);
@@ -499,7 +554,10 @@ void SoftUpdatesPolicy::WriteDone(Buf& buf) {
     if (ad->undone_in_flight) {
       *buf.At<uint32_t>(ad->offset) = ad->new_ino;
       ad->undone_in_flight = false;
-      ++stats_.redos;
+      stat_redos_->Inc();
+      if (su_stats_->tracing()) {
+        su_stats_->Trace("su.redo", {{"kind", "dir_add"}, {"blkno", buf.blkno()}});
+      }
       ++ad_it;
     } else if (ad->captured) {
       FinishAdd(ad);
@@ -516,7 +574,10 @@ void SoftUpdatesPolicy::WriteDone(Buf& buf) {
     if (rm->undone_in_flight) {
       memset(buf.data().data() + rm->offset, 0, sizeof(DirEntry));
       rm->undone_in_flight = false;
-      ++stats_.redos;
+      stat_redos_->Inc();
+      if (su_stats_->tracing()) {
+        su_stats_->Trace("su.redo", {{"kind", "dir_rem"}, {"blkno", buf.blkno()}});
+      }
       ++rm_it;
     } else if (rm->captured) {
       QueueRemWorkitem(rm);

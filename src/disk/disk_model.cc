@@ -5,6 +5,14 @@
 
 namespace mufs {
 
+void DiskModel::AttachStats(StatsRegistry* stats) {
+  stat_prefetch_hits_ = &stats->counter("disk.model.prefetch_hits");
+  stat_seek_ns_ = &stats->counter("disk.model.seek_ns");
+  stat_rotation_ns_ = &stats->counter("disk.model.rotation_ns");
+  stat_transfer_ns_ = &stats->counter("disk.model.transfer_ns");
+  stat_cylinders_moved_ = &stats->counter("disk.model.cylinders_moved");
+}
+
 SimDuration DiskModel::SeekTime(uint32_t from_cyl, uint32_t to_cyl) const {
   if (from_cyl == to_cyl) {
     return 0;
@@ -38,20 +46,34 @@ SimDuration DiskModel::Access(bool is_write, uint32_t blkno, uint32_t count, Sim
     // The drive keeps prefetching ahead of a sequential reader.
     cache_hi_ = std::min<uint64_t>(static_cast<uint64_t>(geom_.total_blocks),
                                    static_cast<uint64_t>(blkno + count) + geom_.prefetch_blocks);
+    if (stat_prefetch_hits_ != nullptr) {
+      stat_prefetch_hits_->Inc();
+    }
     return t;
   }
 
   SimTime t = start + geom_.command_overhead;
   uint32_t target_cyl = CylinderOf(blkno);
-  t += SeekTime(head_cylinder_, target_cyl);
-  t += RotationalDelay(blkno, t);
+  SimDuration seek = SeekTime(head_cylinder_, target_cyl);
+  t += seek;
+  SimDuration rotation = RotationalDelay(blkno, t);
+  t += rotation;
   // Media transfer; crossing a track boundary costs a head/track switch we
   // fold into the per-block rate (blocks on a cylinder are consecutive).
-  t += geom_.transfer_per_block() * static_cast<SimDuration>(count);
+  SimDuration transfer = geom_.transfer_per_block() * static_cast<SimDuration>(count);
   // Crossing into further cylinders adds single-cylinder seeks.
   uint32_t end_cyl = CylinderOf(blkno + count - 1);
   if (end_cyl > target_cyl) {
-    t += SeekTime(0, 1) * static_cast<SimDuration>(end_cyl - target_cyl);
+    transfer += SeekTime(0, 1) * static_cast<SimDuration>(end_cyl - target_cyl);
+  }
+  t += transfer;
+  if (stat_seek_ns_ != nullptr) {
+    stat_seek_ns_->Inc(static_cast<uint64_t>(seek));
+    stat_rotation_ns_->Inc(static_cast<uint64_t>(rotation));
+    stat_transfer_ns_->Inc(static_cast<uint64_t>(transfer));
+    uint32_t moved =
+        target_cyl > head_cylinder_ ? target_cyl - head_cylinder_ : head_cylinder_ - target_cyl;
+    stat_cylinders_moved_->Inc(moved + (end_cyl - target_cyl));
   }
   head_cylinder_ = end_cyl;
 

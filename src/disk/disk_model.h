@@ -22,6 +22,7 @@
 
 #include "src/disk/geometry.h"
 #include "src/sim/time.h"
+#include "src/stats/stats_registry.h"
 
 namespace mufs {
 
@@ -30,6 +31,11 @@ class DiskModel {
   explicit DiskModel(const DiskGeometry& geometry) : geom_(geometry) {}
 
   const DiskGeometry& geometry() const { return geom_; }
+
+  // Registers the model's mechanical-time breakdown (seek/rotation/
+  // transfer accumulators, prefetch hits) with `stats`. Optional: an
+  // unattached model simply keeps no metrics.
+  void AttachStats(StatsRegistry* stats);
 
   // Computes the service time for an access beginning at `start`, updates
   // head position and cache state. `count` blocks starting at `blkno`.
@@ -52,6 +58,12 @@ class DiskModel {
   SimDuration RotationalDelay(uint32_t blkno, SimTime t) const;
 
   DiskGeometry geom_;
+  // Metric handles; all null until AttachStats.
+  Counter* stat_prefetch_hits_ = nullptr;
+  Counter* stat_seek_ns_ = nullptr;
+  Counter* stat_rotation_ns_ = nullptr;
+  Counter* stat_transfer_ns_ = nullptr;
+  Counter* stat_cylinders_moved_ = nullptr;
   uint32_t head_cylinder_ = 0;
   // Prefetch cache window [cache_lo_, cache_hi_). Loaded by reads; any
   // write invalidates it (write-through, no write cache, as on drives of

@@ -18,6 +18,24 @@ DiskDriver::DiskDriver(Engine* engine, DiskModel* model, DiskImage* image, Drive
       config_(config),
       work_available_(engine),
       queue_empty_(engine) {
+  if (config_.stats != nullptr) {
+    stats_ = config_.stats;
+  } else {
+    owned_stats_ = std::make_unique<StatsRegistry>();
+    owned_stats_->SetClock([engine] { return engine->Now(); });
+    stats_ = owned_stats_.get();
+  }
+  stat_reads_ = &stats_->counter("disk.reads");
+  stat_writes_ = &stats_->counter("disk.writes");
+  stat_blocks_read_ = &stats_->counter("disk.blocks_read");
+  stat_blocks_written_ = &stats_->counter("disk.blocks_written");
+  stat_merges_ = &stats_->counter("disk.merged_requests");
+  stat_clook_wraps_ = &stats_->counter("disk.clook_wraps");
+  stat_busy_ns_ = &stats_->counter("disk.busy_ns");
+  stat_queue_depth_ = &stats_->gauge("disk.queue_depth");
+  stat_response_ = &stats_->histogram("disk.response_ns");
+  stat_access_ = &stats_->histogram("disk.access_ns");
+  stat_queue_delay_ = &stats_->histogram("disk.queue_ns");
   service_proc_ = engine_->Spawn(ServiceLoop(), "disk-driver");
 }
 
@@ -57,13 +75,35 @@ uint64_t DiskDriver::Enqueue(std::unique_ptr<Request> req, std::function<void()>
     flagged_indices_.push_back(req->issue_index);
   }
   ++total_requests_;
+  if (req->dir == IoDir::kWrite) {
+    stat_writes_->Inc();
+    stat_blocks_written_->Inc(req->count);
+  } else {
+    stat_reads_->Inc();
+    stat_blocks_read_->Inc(req->count);
+  }
+  if (stats_->tracing()) {
+    stats_->Trace("disk.issue", {{"id", id},
+                                 {"dir", req->dir == IoDir::kWrite ? "w" : "r"},
+                                 {"blkno", req->blkno},
+                                 {"count", req->count},
+                                 {"flag", req->flag},
+                                 {"ndeps", req->deps.size()},
+                                 {"qdepth", PendingCount()}});
+  }
 
   if (req->dir == IoDir::kWrite && TryMerge(req.get())) {
     ++merged_requests_;
+    stat_merges_->Inc();
+    if (stats_->tracing()) {
+      stats_->Trace("disk.concat", {{"id", id}, {"blkno", queue_.back()->blkno},
+                                    {"count", queue_.back()->count}});
+    }
   } else {
     IndexRequest(*req);
     queue_.push_back(std::move(req));
   }
+  stat_queue_depth_->Set(static_cast<int64_t>(PendingCount()));
   Kick();
   return id;
 }
@@ -236,7 +276,13 @@ DiskDriver::Request* DiskDriver::PickNext() {
       best_wrap = q.get();
     }
   }
-  return best_forward != nullptr ? best_forward : best_wrap;
+  if (best_forward != nullptr) {
+    return best_forward;
+  }
+  if (best_wrap != nullptr) {
+    stat_clook_wraps_->Inc();
+  }
+  return best_wrap;
 }
 
 Task<void> DiskDriver::ServiceLoop() {
@@ -260,8 +306,25 @@ Task<void> DiskDriver::ServiceLoop() {
     }
     in_service_ = r;
     SimTime service_start = engine_->Now();
+    uint32_t origin = scan_from_;
+    uint32_t from_cyl = model_->CurrentCylinder();
     SimDuration dur =
         model_->Access(r->dir == IoDir::kWrite, r->blkno, r->count, service_start);
+    stat_busy_ns_->Inc(static_cast<uint64_t>(dur));
+    stat_access_->Record(dur);
+    stat_queue_delay_->Record(service_start - r->issue_time);
+    if (stats_->tracing()) {
+      uint32_t to_cyl = model_->CylinderOf(r->blkno);
+      uint32_t seek_cyls = to_cyl > from_cyl ? to_cyl - from_cyl : from_cyl - to_cyl;
+      stats_->Trace("disk.service",
+                    {{"id", r->ids.front()},
+                     {"dir", r->dir == IoDir::kWrite ? "w" : "r"},
+                     {"blkno", r->blkno},
+                     {"count", r->count},
+                     {"origin", origin},
+                     {"seek_cyls", seek_cyls},
+                     {"qdepth", PendingCount()}});
+    }
     co_await engine_->Sleep(dur);
     scan_from_ = r->blkno + r->count;
     if (config_.collect_traces) {
@@ -278,10 +341,19 @@ Task<void> DiskDriver::ServiceLoop() {
     }
     Complete(r);
     in_service_ = nullptr;
+    stat_queue_depth_->Set(static_cast<int64_t>(PendingCount()));
   }
 }
 
 void DiskDriver::Complete(Request* req) {
+  SimTime now = engine_->Now();
+  stat_response_->Record(now - req->issue_time);
+  if (stats_->tracing()) {
+    stats_->Trace("disk.complete", {{"id", req->ids.front()},
+                                    {"blkno", req->blkno},
+                                    {"count", req->count},
+                                    {"response_ns", now - req->issue_time}});
+  }
   if (req->dir == IoDir::kWrite) {
     for (uint32_t i = 0; i < req->count; ++i) {
       image_->Write(req->blkno + i, *req->data[i], engine_->Now());

@@ -45,6 +45,7 @@
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/stats/stats_registry.h"
 
 namespace mufs {
 
@@ -56,6 +57,9 @@ struct DriverConfig {
   FlagSemantics semantics = FlagSemantics::kPart;
   bool reads_bypass = false;  // -NR
   bool collect_traces = true;
+  // Shared metrics registry (the Machine's). When null the driver owns a
+  // private registry, so standalone construction needs no guards.
+  StatsRegistry* stats = nullptr;
 };
 
 class DiskDriver {
@@ -94,6 +98,7 @@ class DiskDriver {
   uint64_t MergedRequests() const { return merged_requests_; }
 
   const DriverConfig& config() const { return config_; }
+  StatsRegistry* stats() const { return stats_; }
 
  private:
   struct Request {
@@ -126,6 +131,21 @@ class DiskDriver {
   DiskModel* model_;
   DiskImage* image_;
   DriverConfig config_;
+
+  // Metrics (either the Machine's registry or owned_stats_).
+  std::unique_ptr<StatsRegistry> owned_stats_;
+  StatsRegistry* stats_ = nullptr;
+  Counter* stat_reads_ = nullptr;
+  Counter* stat_writes_ = nullptr;
+  Counter* stat_blocks_read_ = nullptr;
+  Counter* stat_blocks_written_ = nullptr;
+  Counter* stat_merges_ = nullptr;
+  Counter* stat_clook_wraps_ = nullptr;
+  Counter* stat_busy_ns_ = nullptr;
+  Gauge* stat_queue_depth_ = nullptr;
+  LatencyHistogram* stat_response_ = nullptr;
+  LatencyHistogram* stat_access_ = nullptr;
+  LatencyHistogram* stat_queue_delay_ = nullptr;
 
   uint64_t next_id_ = 1;
   uint64_t next_issue_index_ = 1;

@@ -45,6 +45,32 @@ FileSystem::FileSystem(Engine* engine, Cpu* cpu, BufferCache* cache, SyncerDaemo
       alloc_lock_(engine) {
   buffer_hooks_ = std::make_unique<FsBufferHooks>(this);
   cache_->SetDepHooks(buffer_hooks_.get());
+  stats_ = config_.stats != nullptr ? config_.stats : cache_->stats_registry();
+  stat_creates_ = &stats_->counter("fs.creates");
+  stat_removes_ = &stats_->counter("fs.removes");
+  stat_mkdirs_ = &stats_->counter("fs.mkdirs");
+  stat_rmdirs_ = &stats_->counter("fs.rmdirs");
+  stat_renames_ = &stats_->counter("fs.renames");
+  stat_lookups_ = &stats_->counter("fs.lookups");
+  stat_reads_ = &stats_->counter("fs.reads");
+  stat_writes_ = &stats_->counter("fs.writes");
+  stat_blocks_allocated_ = &stats_->counter("fs.blocks_allocated");
+  stat_blocks_freed_ = &stats_->counter("fs.blocks_freed");
+}
+
+FsOpStats FileSystem::op_stats() const {
+  FsOpStats s;
+  s.creates = stat_creates_->value();
+  s.removes = stat_removes_->value();
+  s.mkdirs = stat_mkdirs_->value();
+  s.rmdirs = stat_rmdirs_->value();
+  s.renames = stat_renames_->value();
+  s.lookups = stat_lookups_->value();
+  s.reads = stat_reads_->value();
+  s.writes = stat_writes_->value();
+  s.blocks_allocated = stat_blocks_allocated_->value();
+  s.blocks_freed = stat_blocks_freed_->value();
+  return s;
 }
 
 FileSystem::~FileSystem() = default;
@@ -283,7 +309,7 @@ Task<Result<uint32_t>> FileSystem::AllocBlock(Proc& proc, uint32_t hint) {
           BitmapSet(bm->data().data(), blkno % kBitsPerBlock, true);
           cache_->MarkDirty(*bm);
           block_rotor_ = blkno + 1 < sb_.total_blocks ? blkno + 1 : sb_.data_start;
-          ++op_stats_.blocks_allocated;
+          stat_blocks_allocated_->Inc();
           co_return blkno;
         }
       }
@@ -327,7 +353,7 @@ Task<void> FileSystem::FreeBlocksInBitmap(Proc& proc, const std::vector<uint32_t
     co_await cache_->BeginUpdate(*bm);
     BitmapSet(bm->data().data(), blkno % kBitsPerBlock, false);
     cache_->MarkDirty(*bm);
-    ++op_stats_.blocks_freed;
+    stat_blocks_freed_->Inc();
   }
 }
 

@@ -63,6 +63,8 @@ struct FsConfig {
   bool alloc_init = false;
   uint32_t inode_cache_capacity = 4096;
   FsCpuCosts costs;
+  // Shared metrics registry; falls back to the cache's when null.
+  StatsRegistry* stats = nullptr;
 };
 
 struct StatInfo {
@@ -78,6 +80,7 @@ struct DirEntryInfo {
   std::string name;
 };
 
+// Snapshot of the fs.* registry counters.
 struct FsOpStats {
   uint64_t creates = 0;
   uint64_t removes = 0;
@@ -170,7 +173,8 @@ class FileSystem {
   // pushes it into the itable buffer immediately.
   Task<void> MarkInodeDirty(Proc& proc, Inode& ip);
 
-  const FsOpStats& op_stats() const { return op_stats_; }
+  FsOpStats op_stats() const;  // Snapshot of the fs.* counters.
+  StatsRegistry* stats() const { return stats_; }
 
   // Drops clean, unpinned in-core inodes (cold-cache simulation).
   void DropCleanInodes();
@@ -235,7 +239,20 @@ class FileSystem {
   uint32_t inode_rotor_ = 1;
 
   std::unique_ptr<DepHooks> buffer_hooks_;
-  FsOpStats op_stats_;
+
+  // Metric handles into stats_ (the Machine's registry or the cache's
+  // private fallback; never null after construction).
+  StatsRegistry* stats_ = nullptr;
+  Counter* stat_creates_ = nullptr;
+  Counter* stat_removes_ = nullptr;
+  Counter* stat_mkdirs_ = nullptr;
+  Counter* stat_rmdirs_ = nullptr;
+  Counter* stat_renames_ = nullptr;
+  Counter* stat_lookups_ = nullptr;
+  Counter* stat_reads_ = nullptr;
+  Counter* stat_writes_ = nullptr;
+  Counter* stat_blocks_allocated_ = nullptr;
+  Counter* stat_blocks_freed_ = nullptr;
 };
 
 }  // namespace mufs

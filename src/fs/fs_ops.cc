@@ -200,7 +200,7 @@ Task<Result<uint32_t>> FileSystem::Create(Proc& proc, const std::string& path) {
 
   co_await policy_->SetupLinkAdd(proc, *parent, entry.value().buf, entry.value().offset, *ip,
                                  /*new_inode=*/true);
-  ++op_stats_.creates;
+  stat_creates_->Inc();
   co_return ino.value();
 }
 
@@ -246,7 +246,7 @@ Task<FsStatus> FileSystem::Mkdir(Proc& proc, const std::string& path) {
   }
   co_await policy_->SetupLinkAdd(proc, *parent, entry.value().buf, entry.value().offset, *ip,
                                  /*new_inode=*/true);
-  ++op_stats_.mkdirs;
+  stat_mkdirs_->Inc();
   co_return FsStatus::kOk;
 }
 
@@ -315,7 +315,7 @@ Task<FsStatus> FileSystem::Unlink(Proc& proc, const std::string& path) {
 
   co_await policy_->SetupLinkRemove(proc, *parent, buf, loc.value().offset, old_entry,
                                     loc.value().ino, /*rename=*/nullptr);
-  ++op_stats_.removes;
+  stat_removes_->Inc();
   co_return FsStatus::kOk;
 }
 
@@ -362,7 +362,7 @@ Task<FsStatus> FileSystem::Rmdir(Proc& proc, const std::string& path) {
 
   co_await policy_->SetupLinkRemove(proc, *parent, buf, loc.value().offset, old_entry,
                                     loc.value().ino, /*rename=*/nullptr);
-  ++op_stats_.rmdirs;
+  stat_rmdirs_->Inc();
   co_return FsStatus::kOk;
 }
 
@@ -443,13 +443,13 @@ Task<FsStatus> FileSystem::Rename(Proc& proc, const std::string& from, const std
   OrderingPolicy::RenameContext rctx{added.value().buf, added.value().offset, ip->ino};
   co_await policy_->SetupLinkRemove(proc, *from_dir, old_buf, src.value().offset, old_entry,
                                     ip->ino, &rctx);
-  ++op_stats_.renames;
+  stat_renames_->Inc();
   co_return FsStatus::kOk;
 }
 
 Task<Result<uint32_t>> FileSystem::Lookup(Proc& proc, const std::string& path) {
   ++proc.fs_calls;
-  ++op_stats_.lookups;
+  stat_lookups_->Inc();
   co_await Charge(proc, config_.costs.syscall);
   Result<PathParts> parts = SplitPath(path);
   if (!parts.Ok()) {
@@ -518,7 +518,7 @@ Task<Result<std::vector<DirEntryInfo>>> FileSystem::ReadDir(Proc& proc,
 Task<Result<uint64_t>> FileSystem::WriteFile(Proc& proc, uint32_t ino, uint64_t offset,
                                              std::span<const uint8_t> data) {
   ++proc.fs_calls;
-  ++op_stats_.writes;
+  stat_writes_->Inc();
   co_await Charge(proc, config_.costs.syscall +
                             config_.costs.per_kb_io *
                                 static_cast<SimDuration>((data.size() + 1023) / 1024));
@@ -566,7 +566,7 @@ Task<Result<uint64_t>> FileSystem::WriteFile(Proc& proc, uint32_t ino, uint64_t 
 Task<Result<uint64_t>> FileSystem::ReadFile(Proc& proc, uint32_t ino, uint64_t offset,
                                             std::span<uint8_t> out) {
   ++proc.fs_calls;
-  ++op_stats_.reads;
+  stat_reads_->Inc();
   InodeRef ip = co_await Iget(proc, ino);
   if (ip->d.IsDir()) {
     co_return FsStatus::kIsDirectory;

@@ -60,7 +60,8 @@ class OrderingPolicy {
   virtual std::string_view Name() const = 0;
 
   // Called once after the policy is attached to a mounted file system.
-  virtual void Attach(FileSystem* fs) { fs_ = fs; }
+  // Also binds the policy's metric handles to the file system's registry.
+  virtual void Attach(FileSystem* fs);
 
   // Buffer-cache dependency hooks (only soft updates uses them).
   virtual DepHooks* CacheHooks() { return nullptr; }
@@ -138,8 +139,18 @@ class OrderingPolicy {
   // all dirty buffers to disk, and run deferred work until quiescent.
   Task<void> DrainAllDirty(Proc& proc);
 
+  // Counts one ordering-point decision (counter "policy.ordering_points"
+  // plus "policy.<point>") and, when tracing, records a
+  // "policy.ordering_point" event {scheme, point, action}. `point` is one
+  // of the paper's dependency points (alloc, block_free, link_add,
+  // link_remove, inode_free, rename_fence); `action` names the discipline
+  // applied (sync_write, flagged_write, chain_dep, delayed, none, ...).
+  void NoteOrderingPoint(std::string_view point, std::string_view action);
+
  private:
   FileSystem* fs_ = nullptr;
+  StatsRegistry* stats_ = nullptr;
+  Counter* stat_ordering_points_ = nullptr;
 };
 
 }  // namespace mufs

@@ -57,6 +57,15 @@ CrashResult CrashHarness::RunAndCrashAtWrite(const Workload& workload, uint64_t 
   return result;
 }
 
+DiskImage CrashHarness::CrashImageAtWrite(const Workload& workload, uint64_t write_count) {
+  Machine m(config_);
+  Proc proc = m.MakeProc("crash-user");
+  RunState state;
+  m.engine().Spawn(WorkloadRoot(&m, &proc, &workload, &state), "crash-workload");
+  m.engine().RunUntil([&] { return m.image().WriteCount() >= write_count; });
+  return m.CrashNow();
+}
+
 uint64_t CrashHarness::MeasureWrites(const Workload& workload, SimDuration settle) {
   Machine m(config_);
   Proc proc = m.MakeProc("measure-user");

@@ -44,6 +44,10 @@ class CrashHarness {
   CrashResult RunAndCrashAtWrite(const Workload& workload, uint64_t write_count,
                                  FsckOptions fsck_options = {});
 
+  // Like RunAndCrashAtWrite but hands back the crash image itself instead
+  // of checking it - for tests that mutate the image (fsck repair).
+  DiskImage CrashImageAtWrite(const Workload& workload, uint64_t write_count);
+
   // Runs the workload to completion (plus `settle` of idle syncer time),
   // returning the total number of events - the sweep upper bound.
   uint64_t MeasureEvents(const Workload& workload, SimDuration settle = Sec(3));

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstring>
 #include <deque>
+#include <unordered_set>
 
 namespace mufs {
 
@@ -295,6 +296,338 @@ FsckReport FsckChecker::Check() {
     if (!BitmapGet(bm.data(), blkno % kBitsPerBlock)) {
       report.fixables.push_back(
           {"block " + std::to_string(blkno) + " in use but free in bitmap"});
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------
+// Repair
+// ---------------------------------------------------------------------
+
+namespace {
+// Repairs cascade (cleared entry -> orphan -> orphaned children); each
+// pass handles one level, so the cap bounds the orphan-tree depth.
+constexpr int kMaxRepairPasses = 16;
+}  // namespace
+
+DiskInode FsckRepairer::ReadInode(uint32_t ino) const {
+  BlockData blk;
+  image_->Read(sb_.ItableBlock(ino), &blk);
+  DiskInode di;
+  memcpy(&di, blk.data() + sb_.ItableOffset(ino), sizeof(di));
+  return di;
+}
+
+void FsckRepairer::WriteInode(uint32_t ino, const DiskInode& di) {
+  BlockData blk;
+  image_->Read(sb_.ItableBlock(ino), &blk);
+  memcpy(blk.data() + sb_.ItableOffset(ino), &di, sizeof(di));
+  WriteBlock(sb_.ItableBlock(ino), blk);
+}
+
+void FsckRepairer::WriteBlock(uint32_t blkno, const BlockData& data) {
+  // Repair happens "offline": keep the image's stable-storage timestamp.
+  image_->Write(blkno, data, image_->LastWriteTime());
+}
+
+bool FsckRepairer::LoadSuper() {
+  BlockData blk;
+  image_->Read(0, &blk);
+  memcpy(&sb_, blk.data(), sizeof(sb_));
+  return sb_.magic == kFsMagic && sb_.total_blocks != 0 && sb_.total_inodes != 0;
+}
+
+void FsckRepairer::ScrubInodePointers(FsckRepairReport* report) {
+  auto claim = [&](uint32_t ino, uint32_t blkno) {
+    if (!sb_.IsDataBlock(blkno)) {
+      return false;
+    }
+    return block_owner_.try_emplace(blkno, ino).second;
+  };
+  for (uint32_t ino = kRootIno; ino < sb_.total_inodes; ++ino) {
+    DiskInode di = ReadInode(ino);
+    if (!di.InUse()) {
+      continue;
+    }
+    bool inode_dirty = false;
+    std::vector<uint32_t> data_blocks;
+    auto scrub_ptr = [&](uint32_t* ptr) {
+      if (*ptr == 0) {
+        return;
+      }
+      if (!claim(ino, *ptr)) {
+        *ptr = 0;
+        ++report->pointers_cleared;
+        return;
+      }
+      data_blocks.push_back(*ptr);
+    };
+    for (uint32_t i = 0; i < kNumDirect; ++i) {
+      uint32_t before = di.direct[i];
+      scrub_ptr(&di.direct[i]);
+      inode_dirty |= di.direct[i] != before;
+    }
+    // An indirect block is itself a claim; if it survives, scrub the
+    // pointers it holds (writing the block back on any change).
+    auto scrub_indirect = [&](uint32_t* iblk, auto&& leaf_fn) {
+      if (*iblk == 0) {
+        return;
+      }
+      if (!claim(ino, *iblk)) {
+        *iblk = 0;
+        ++report->pointers_cleared;
+        return;
+      }
+      BlockData blk;
+      image_->Read(*iblk, &blk);
+      uint32_t* ptrs = reinterpret_cast<uint32_t*>(blk.data());
+      bool blk_dirty = false;
+      for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+        uint32_t before = ptrs[i];
+        leaf_fn(&ptrs[i]);
+        blk_dirty |= ptrs[i] != before;
+      }
+      if (blk_dirty) {
+        WriteBlock(*iblk, blk);
+      }
+    };
+    {
+      uint32_t before = di.indirect;
+      scrub_indirect(&di.indirect, scrub_ptr);
+      inode_dirty |= di.indirect != before;
+    }
+    {
+      uint32_t before = di.double_indirect;
+      scrub_indirect(&di.double_indirect,
+                     [&](uint32_t* mid) { scrub_indirect(mid, scrub_ptr); });
+      inode_dirty |= di.double_indirect != before;
+    }
+    if (inode_dirty) {
+      WriteInode(ino, di);
+    }
+    if (options_.check_stale_data && !di.IsDir()) {
+      for (uint32_t blkno : data_blocks) {
+        if (!image_->EverWritten(blkno)) {
+          continue;
+        }
+        BlockData blk;
+        image_->Read(blkno, &blk);
+        DataBlockTag tag;
+        memcpy(&tag, blk.data(), sizeof(tag));
+        bool all_zero = true;
+        for (size_t i = 0; i < sizeof(tag); ++i) {
+          if (blk[i] != 0) {
+            all_zero = false;
+            break;
+          }
+        }
+        if (all_zero) {
+          continue;
+        }
+        if (tag.magic != kDataTagMagic || tag.ino != ino || tag.generation != di.generation) {
+          blk.fill(0);
+          WriteBlock(blkno, blk);
+          ++report->data_blocks_scrubbed;
+        }
+      }
+    }
+  }
+}
+
+void FsckRepairer::ScrubDirectories(FsckRepairReport* report) {
+  std::deque<uint32_t> queue;
+  std::vector<bool> visited(sb_.total_inodes, false);
+  queue.push_back(kRootIno);
+  visited[kRootIno] = true;
+  while (!queue.empty()) {
+    uint32_t dir_ino = queue.front();
+    queue.pop_front();
+    DiskInode di = ReadInode(dir_ino);
+    if (!di.IsDir()) {
+      continue;
+    }
+    std::vector<uint32_t> blocks;
+    for (uint32_t i = 0; i < kNumDirect; ++i) {
+      if (di.direct[i] != 0) {
+        blocks.push_back(di.direct[i]);
+      }
+    }
+    if (di.indirect != 0) {
+      BlockData blk;
+      image_->Read(di.indirect, &blk);
+      const uint32_t* ptrs = reinterpret_cast<const uint32_t*>(blk.data());
+      for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+        if (ptrs[i] != 0) {
+          blocks.push_back(ptrs[i]);
+        }
+      }
+    }
+    std::vector<uint32_t> children;
+    for (uint32_t blkno : blocks) {
+      if (!sb_.IsDataBlock(blkno)) {
+        continue;  // Already zeroed by the pointer scrub.
+      }
+      BlockData blk;
+      image_->Read(blkno, &blk);
+      bool blk_dirty = false;
+      for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+        DirEntry de;
+        memcpy(&de, blk.data() + e * kDirEntrySize, sizeof(de));
+        if (de.ino == 0) {
+          continue;
+        }
+        bool name_ok = de.name[0] != '\0';
+        for (size_t i = 0; name_ok && i < kMaxNameLen && de.name[i] != '\0'; ++i) {
+          if (!isprint(static_cast<unsigned char>(de.name[i]))) {
+            name_ok = false;
+          }
+        }
+        bool garbage = de.ino >= sb_.total_inodes || !name_ok || de.reserved != 0;
+        bool dangling = !garbage && !ReadInode(de.ino).InUse();
+        if (garbage || dangling) {
+          memset(blk.data() + e * kDirEntrySize, 0, kDirEntrySize);
+          blk_dirty = true;
+          ++report->dir_entries_cleared;
+          continue;
+        }
+        ++ref_counts_[de.ino];
+        if (ReadInode(de.ino).IsDir()) {
+          children.push_back(de.ino);
+        }
+      }
+      if (blk_dirty) {
+        WriteBlock(blkno, blk);
+      }
+    }
+    child_dir_counts_[dir_ino] = static_cast<uint32_t>(children.size());
+    for (uint32_t child : children) {
+      if (child < sb_.total_inodes && !visited[child]) {
+        visited[child] = true;
+        queue.push_back(child);
+      }
+    }
+  }
+}
+
+void FsckRepairer::FixLinkCountsAndOrphans(FsckRepairReport* report) {
+  for (uint32_t ino = kRootIno + 1; ino < sb_.total_inodes; ++ino) {
+    DiskInode di = ReadInode(ino);
+    if (!di.InUse()) {
+      continue;
+    }
+    uint32_t refs = 0;
+    if (auto it = ref_counts_.find(ino); it != ref_counts_.end()) {
+      refs = it->second;
+    }
+    if (refs == 0) {
+      // Unreferenced: free the inode but keep its generation so any later
+      // reuse still invalidates stale data tags. Its blocks return to the
+      // free pool when the bitmaps are rebuilt; a directory's children
+      // become orphans themselves and fall out in the next pass.
+      DiskInode freed;
+      freed.generation = di.generation + 1;
+      WriteInode(ino, freed);
+      ++report->inodes_cleared;
+      continue;
+    }
+    uint32_t expected = refs;
+    if (di.IsDir()) {
+      uint32_t children = 0;
+      if (auto cit = child_dir_counts_.find(ino); cit != child_dir_counts_.end()) {
+        children = cit->second;
+      }
+      expected = refs + 1 + children;
+    }
+    if (di.nlink != expected) {
+      di.nlink = static_cast<uint16_t>(expected);
+      WriteInode(ino, di);
+      ++report->link_counts_fixed;
+    }
+  }
+}
+
+void FsckRepairer::RebuildBitmaps(FsckRepairReport* report) {
+  // Recompute claims from the surviving inode table (pointers are all
+  // valid and unique after the scrub; orphans have been freed).
+  std::unordered_set<uint32_t> claimed;
+  auto walk_indirect = [&](uint32_t iblk, auto&& leaf_fn) {
+    if (iblk == 0) {
+      return;
+    }
+    claimed.insert(iblk);
+    BlockData blk;
+    image_->Read(iblk, &blk);
+    const uint32_t* ptrs = reinterpret_cast<const uint32_t*>(blk.data());
+    for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+      leaf_fn(ptrs[i]);
+    }
+  };
+  auto add_leaf = [&](uint32_t blkno) {
+    if (blkno != 0) {
+      claimed.insert(blkno);
+    }
+  };
+  for (uint32_t ino = kRootIno; ino < sb_.total_inodes; ++ino) {
+    DiskInode di = ReadInode(ino);
+    if (!di.InUse()) {
+      continue;
+    }
+    for (uint32_t i = 0; i < kNumDirect; ++i) {
+      add_leaf(di.direct[i]);
+    }
+    walk_indirect(di.indirect, add_leaf);
+    walk_indirect(di.double_indirect, [&](uint32_t mid) { walk_indirect(mid, add_leaf); });
+  }
+
+  auto rewrite = [&](uint32_t bitmap_start, uint32_t bitmap_blocks, uint32_t total,
+                     auto&& desired_fn) {
+    for (uint32_t b = 0; b < bitmap_blocks; ++b) {
+      BlockData bm;
+      image_->Read(bitmap_start + b, &bm);
+      bool dirty = false;
+      uint32_t base = b * kBitsPerBlock;
+      for (uint32_t i = 0; i < kBitsPerBlock && base + i < total; ++i) {
+        bool want = desired_fn(base + i);
+        if (BitmapGet(bm.data(), i) != want) {
+          BitmapSet(bm.data(), i, want);
+          dirty = true;
+          ++report->bitmap_bits_fixed;
+        }
+      }
+      if (dirty) {
+        WriteBlock(bitmap_start + b, bm);
+      }
+    }
+  };
+  rewrite(sb_.inode_bitmap_start, sb_.inode_bitmap_blocks, sb_.total_inodes,
+          [&](uint32_t ino) { return ino < kRootIno || ReadInode(ino).InUse(); });
+  rewrite(sb_.block_bitmap_start, sb_.block_bitmap_blocks, sb_.total_blocks,
+          [&](uint32_t blkno) { return blkno < sb_.data_start || claimed.contains(blkno); });
+}
+
+void FsckRepairer::RepairPass(FsckRepairReport* report) {
+  block_owner_.clear();
+  ref_counts_.clear();
+  child_dir_counts_.clear();
+  ScrubInodePointers(report);
+  ScrubDirectories(report);
+  FixLinkCountsAndOrphans(report);
+  RebuildBitmaps(report);
+}
+
+FsckRepairReport FsckRepairer::Repair() {
+  FsckRepairReport report;
+  if (!LoadSuper()) {
+    return report;  // A bad superblock is beyond repair here.
+  }
+  for (int pass = 0; pass < kMaxRepairPasses; ++pass) {
+    ++report.passes;
+    RepairPass(&report);
+    FsckReport check = FsckChecker(image_, options_).Check();
+    if (check.violations.empty() && check.fixables.empty()) {
+      report.clean_after = true;
+      break;
     }
   }
   return report;

@@ -106,6 +106,64 @@ class FsckChecker {
   std::unordered_map<uint32_t, uint32_t> child_dir_counts_;  // dir ino -> #subdirs.
 };
 
+// What a repair run did to the image. Counts are cumulative over all
+// repair passes (clearing a dangling entry can orphan an inode, which a
+// later pass then clears).
+struct FsckRepairReport {
+  int passes = 0;
+  uint32_t dir_entries_cleared = 0;   // Garbage / dangling entries zeroed.
+  uint32_t link_counts_fixed = 0;     // nlink rewritten to reference count.
+  uint32_t inodes_cleared = 0;        // Orphaned inodes freed.
+  uint32_t pointers_cleared = 0;      // Bad / duplicate block pointers zeroed.
+  uint32_t data_blocks_scrubbed = 0;  // Stale-data exposures zeroed.
+  uint32_t bitmap_bits_fixed = 0;     // Bitmap bits rewritten.
+  bool clean_after = false;           // Post-repair Check() has no findings.
+
+  uint32_t TotalFixes() const {
+    return dir_entries_cleared + link_counts_fixed + inodes_cleared + pointers_cleared +
+           data_blocks_scrubbed + bitmap_bits_fixed;
+  }
+};
+
+// Repairs a crashed image the way fsck would: drop directory entries that
+// cannot be trusted (garbage / dangling), zero invalid and duplicate
+// block pointers, free unreferenced inodes, rewrite link counts to the
+// observed reference counts, scrub stale-data exposures (when checking
+// them), and rebuild both bitmaps from the surviving metadata. Repairs
+// iterate until a re-check is clean (one fix can expose the next: a
+// cleared entry orphans an inode, whose children then orphan in turn).
+class FsckRepairer {
+ public:
+  explicit FsckRepairer(DiskImage* image, FsckOptions options = {})
+      : image_(image), options_(options) {}
+
+  FsckRepairReport Repair();
+
+ private:
+  bool LoadSuper();
+  void RepairPass(FsckRepairReport* report);
+  // Zeroes out-of-range and duplicate block pointers; scrubs foreign data
+  // (when options_.check_stale_data). Fills block_owner_.
+  void ScrubInodePointers(FsckRepairReport* report);
+  // Walks the tree from the root, zeroing garbage / dangling entries.
+  // Fills ref_counts_ and child_dir_counts_.
+  void ScrubDirectories(FsckRepairReport* report);
+  // Frees unreferenced inodes, rewrites mismatched link counts.
+  void FixLinkCountsAndOrphans(FsckRepairReport* report);
+  // Rebuilds both bitmaps from the surviving inode table.
+  void RebuildBitmaps(FsckRepairReport* report);
+  DiskInode ReadInode(uint32_t ino) const;
+  void WriteInode(uint32_t ino, const DiskInode& di);
+  void WriteBlock(uint32_t blkno, const BlockData& data);
+
+  DiskImage* image_;
+  FsckOptions options_;
+  SuperBlock sb_;
+  std::unordered_map<uint32_t, uint32_t> block_owner_;       // blkno -> ino.
+  std::unordered_map<uint32_t, uint32_t> ref_counts_;        // ino -> #entries.
+  std::unordered_map<uint32_t, uint32_t> child_dir_counts_;  // dir ino -> #subdirs.
+};
+
 }  // namespace mufs
 
 #endif  // MUFS_SRC_FSCK_FSCK_H_

@@ -1,0 +1,192 @@
+#include "src/stats/stats_registry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace mufs {
+
+LatencyHistogram::LatencyHistogram(std::vector<SimDuration> upper_edges)
+    : edges_(std::move(upper_edges)) {
+  assert(std::is_sorted(edges_.begin(), edges_.end()));
+  buckets_.assign(edges_.size() + 1, 0);  // +1: overflow bucket.
+}
+
+void LatencyHistogram::Record(SimDuration d) {
+  auto it = std::lower_bound(edges_.begin(), edges_.end(), d);
+  ++buckets_[static_cast<size_t>(it - edges_.begin())];
+  if (count_ == 0 || d < min_) {
+    min_ = d;
+  }
+  if (count_ == 0 || d > max_) {
+    max_ = d;
+  }
+  ++count_;
+  sum_ += d;
+}
+
+const std::vector<SimDuration>& LatencyHistogram::DefaultLatencyEdges() {
+  static const std::vector<SimDuration> kEdges = {
+      Usec(250), Usec(500), Msec(1),   Msec(2),   Msec(4),   Msec(8),
+      Msec(16),  Msec(32),  Msec(64),  Msec(128), Msec(256), Msec(512),
+      Sec(1),    Sec(2),    Sec(4)};
+  return kEdges;
+}
+
+Counter& StatsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& StatsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& StatsRegistry::histogram(std::string_view name,
+                                           std::vector<SimDuration> edges) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (edges.empty()) {
+      edges = LatencyHistogram::DefaultLatencyEdges();
+    }
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>(std::move(edges)))
+             .first;
+  }
+  return *it->second;
+}
+
+void JsonEscape(std::string_view in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonDouble(double v) {
+  char buf[40];
+  snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void StatsRegistry::Trace(std::string_view event, std::initializer_list<TraceField> fields) {
+  if (!tracing_) {
+    return;
+  }
+  if (trace_lines_.size() >= trace_cap_) {
+    ++trace_dropped_;
+    return;
+  }
+  std::string line = "{\"event\":\"";
+  JsonEscape(event, &line);
+  line += "\",\"t\":";
+  line += std::to_string(clock_ ? clock_() : 0);
+  for (const TraceField& f : fields) {
+    line += ",\"";
+    JsonEscape(f.key, &line);
+    line += "\":";
+    if (f.is_string) {
+      line += '"';
+      JsonEscape(f.str, &line);
+      line += '"';
+    } else {
+      line += std::to_string(f.num);
+    }
+  }
+  line += '}';
+  trace_lines_.push_back(std::move(line));
+}
+
+std::string StatsRegistry::DumpJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    JsonEscape(name, &out);
+    out += "\":";
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    JsonEscape(name, &out);
+    out += "\":{\"value\":";
+    out += std::to_string(g->value());
+    out += ",\"max\":";
+    out += std::to_string(g->max());
+    out += '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    JsonEscape(name, &out);
+    out += "\":{\"count\":";
+    out += std::to_string(h->count());
+    out += ",\"sum\":";
+    out += std::to_string(h->sum());
+    out += ",\"min\":";
+    out += std::to_string(h->min());
+    out += ",\"max\":";
+    out += std::to_string(h->max());
+    out += ",\"le\":[";
+    for (size_t i = 0; i < h->edges().size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += std::to_string(h->edges()[i]);
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < h->buckets().size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += std::to_string(h->buckets()[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace mufs

@@ -1,0 +1,166 @@
+// Unified observability layer: named counters, gauges, fixed-bucket
+// latency histograms and an optional JSONL event trace.
+//
+// Every measured quantity in the paper's evaluation (synchronous-write
+// counts, disk utilization, per-request response times, cache behaviour,
+// soft-updates rollback activity) flows through one StatsRegistry owned
+// by the Machine, instead of scattered ad-hoc Stats structs. Everything
+// is deterministic: metric iteration order is lexicographic, timestamps
+// come from the simulation clock (never the wall clock), and DumpJson()
+// of two same-seed runs is byte-identical.
+#ifndef MUFS_SRC_STATS_STATS_REGISTRY_H_
+#define MUFS_SRC_STATS_STATS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace mufs {
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time level (queue depth, outstanding copies, ...). Also keeps
+// the high-water mark, which is what most reports want.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_ = v;
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+  void Add(int64_t d) { Set(value_ + d); }
+  int64_t value() const { return value_; }
+  int64_t max() const { return max_; }
+
+ private:
+  int64_t value_ = 0;
+  int64_t max_ = 0;
+};
+
+// Fixed-bucket latency histogram over simulated durations. A sample d
+// lands in the first bucket with d <= edge; samples above the last edge
+// land in the implicit overflow bucket.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::vector<SimDuration> upper_edges);
+
+  void Record(SimDuration d);
+
+  uint64_t count() const { return count_; }
+  SimDuration sum() const { return sum_; }
+  SimDuration min() const { return min_; }
+  SimDuration max() const { return max_; }
+  const std::vector<SimDuration>& edges() const { return edges_; }
+  // buckets()[i] counts samples <= edges()[i]; buckets().back() is the
+  // overflow bucket (one more entry than edges()).
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  // The default edge set used for disk latencies: roughly exponential
+  // from 250 us to 4 s.
+  static const std::vector<SimDuration>& DefaultLatencyEdges();
+
+ private:
+  std::vector<SimDuration> edges_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  SimDuration sum_ = 0;
+  SimDuration min_ = 0;
+  SimDuration max_ = 0;
+};
+
+// One key/value field of a trace record. Values are either integers
+// (counts, block numbers, simulated times in ns) or short strings
+// (scheme/op names).
+struct TraceField {
+  TraceField(std::string_view k, int64_t v) : key(k), num(v), is_string(false) {}
+  TraceField(std::string_view k, uint64_t v)
+      : key(k), num(static_cast<int64_t>(v)), is_string(false) {}
+  TraceField(std::string_view k, uint32_t v)
+      : key(k), num(static_cast<int64_t>(v)), is_string(false) {}
+  TraceField(std::string_view k, int v) : key(k), num(v), is_string(false) {}
+  TraceField(std::string_view k, bool v) : key(k), num(v ? 1 : 0), is_string(false) {}
+  TraceField(std::string_view k, std::string_view v) : key(k), str(v), is_string(true) {}
+  TraceField(std::string_view k, const char* v) : key(k), str(v), is_string(true) {}
+
+  std::string_view key;
+  int64_t num = 0;
+  std::string_view str;
+  bool is_string;
+};
+
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  // Simulation clock used to stamp trace records ("t" field). Defaults to
+  // a clock that always reads 0 (standalone component tests).
+  void SetClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  // Named metric accessors: create-on-first-use, stable references.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // Creates with the given edges on first use (DefaultLatencyEdges() if
+  // empty); later calls return the existing histogram regardless of edges.
+  LatencyHistogram& histogram(std::string_view name, std::vector<SimDuration> edges = {});
+
+  // --- JSONL event trace --------------------------------------------
+  // Off by default; every record costs host time and memory, so hot
+  // paths guard with `if (tracing())`.
+  void EnableTrace(size_t max_records = 1 << 20) {
+    tracing_ = true;
+    trace_cap_ = max_records;
+  }
+  bool tracing() const { return tracing_; }
+  // Appends one JSONL record: {"event":<event>,"t":<clock()>,<fields...>}.
+  void Trace(std::string_view event, std::initializer_list<TraceField> fields);
+  const std::vector<std::string>& trace_lines() const { return trace_lines_; }
+  uint64_t trace_records_dropped() const { return trace_dropped_; }
+
+  // All metrics as one deterministic JSON object (keys sorted):
+  // {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string DumpJson() const;
+
+  // Number of registered metrics (tests).
+  size_t MetricCount() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // std::map: deterministic lexicographic iteration for DumpJson.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+  std::function<SimTime()> clock_;
+  bool tracing_ = false;
+  size_t trace_cap_ = 0;
+  uint64_t trace_dropped_ = 0;
+  std::vector<std::string> trace_lines_;
+};
+
+// Escapes a string for inclusion in a JSON value (quotes not included).
+void JsonEscape(std::string_view in, std::string* out);
+
+// Formats a double deterministically for JSON ("%.9g").
+std::string JsonDouble(double v);
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_STATS_STATS_REGISTRY_H_

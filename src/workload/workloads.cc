@@ -436,6 +436,7 @@ RunMeasurement RunMultiUser(Machine& m, int num_users, const SetupFn& setup,
     out.avg_response_ms = resp / static_cast<double>(n);
     out.avg_access_ms = access / static_cast<double>(n);
   }
+  out.stats_json = m.DumpStatsJson();
   return out;
 }
 

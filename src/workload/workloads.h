@@ -79,6 +79,7 @@ struct RunMeasurement {
   double avg_response_ms = 0;      // Driver response (queue + access).
   double avg_access_ms = 0;        // Disk access time only.
   double cpu_seconds_total = 0;    // All users, timed phase.
+  std::string stats_json;          // Machine::DumpStatsJson() at run end.
 
   double ElapsedAvgSeconds() const {
     if (users.empty()) {

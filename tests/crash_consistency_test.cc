@@ -177,6 +177,91 @@ TEST(CrashSweepUnsafeTest, NoOrderLosesIntegritySomewhere) {
          "too gentle to demonstrate the hazard.";
 }
 
+// The "Ignore" datapoint (flagged writes issued, flags disregarded by the
+// driver) must be exactly as unsafe as No Order: the flags carry ALL the
+// ordering information, so dropping them at the driver loses integrity
+// somewhere in the sweep.
+TEST(CrashSweepUnsafeTest, IgnoreFlagsLosesIntegritySomewhere) {
+  MachineConfig cfg = ConfigFor(Scheme::kSchedulerFlag, false);
+  cfg.ignore_flags = true;
+  cfg.reads_bypass = true;
+  CrashHarness harness(cfg);
+  uint64_t total_writes = harness.MeasureWrites(ChurnWorkload);
+  FsckOptions fsck;
+  fsck.check_stale_data = true;  // Unordered flushing voids alloc-init too.
+  int violating_states = 0;
+  for (uint64_t w = 1; w <= total_writes; ++w) {
+    CrashResult result = harness.RunAndCrashAtWrite(ChurnWorkload, w, fsck);
+    if (!result.report.Clean()) {
+      ++violating_states;
+    }
+  }
+  EXPECT_GT(violating_states, 0)
+      << "Ignore survived every reachable crash state; the workload is "
+         "too gentle to demonstrate the hazard.";
+}
+
+// Repair round-trip: every corrupt No Order crash state must come back
+// clean from FsckRepairer (corrupt -> repair -> re-check clean). This is
+// the paper's operational model for the unsafe schemes: you CAN run
+// No Order, you just have to pay for a full repairing fsck after a crash.
+TEST(FsckRepairTest, RepairsNoOrderCrashStates) {
+  MachineConfig cfg = ConfigFor(Scheme::kNoOrder, false);
+  CrashHarness harness(cfg);
+  uint64_t total_writes = harness.MeasureWrites(ChurnWorkload);
+  FsckOptions fsck;
+  fsck.check_stale_data = true;
+  uint64_t stride = std::max<uint64_t>(1, total_writes / 24);
+  int corrupt_states = 0;
+  for (uint64_t w = 1; w <= total_writes; w += stride) {
+    DiskImage img = harness.CrashImageAtWrite(ChurnWorkload, w);
+    FsckReport before = FsckChecker(&img, fsck).Check();
+    if (before.Clean() && before.fixables.empty()) {
+      continue;  // Nothing to repair at this crash point.
+    }
+    ++corrupt_states;
+    FsckRepairReport repair = FsckRepairer(&img, fsck).Repair();
+    EXPECT_TRUE(repair.clean_after)
+        << "crash@write " << w << "/" << total_writes << " not repaired after "
+        << repair.passes << " passes (" << repair.TotalFixes() << " fixes)";
+    EXPECT_GT(repair.TotalFixes(), 0u) << "crash@write " << w;
+    FsckReport after = FsckChecker(&img, fsck).Check();
+    for (const auto& v : after.violations) {
+      ADD_FAILURE() << "post-repair crash@write " << w << ": " << ToString(v.type) << ": "
+                    << v.detail;
+    }
+    for (const auto& f : after.fixables) {
+      ADD_FAILURE() << "post-repair fixable crash@write " << w << ": " << f.detail;
+    }
+  }
+  EXPECT_GT(corrupt_states, 0) << "sweep found nothing to repair";
+}
+
+// Repairing an already-clean image must be a no-op.
+TEST(FsckRepairTest, CleanImageUntouchedByRepair) {
+  MachineConfig cfg = ConfigFor(Scheme::kSoftUpdates, true);
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  auto root = [](Machine* mm, Proc* pp, bool* flag) -> Task<void> {
+    co_await mm->Boot(*pp);
+    co_await ChurnWorkload(*mm, *pp);
+    co_await mm->Shutdown(*pp);
+    *flag = true;
+  };
+  m.engine().Spawn(root(&m, &p, &done), "u");
+  m.engine().RunUntil([&] { return done; });
+  DiskImage img = m.CrashNow();
+  uint64_t writes_before = img.WriteCount();
+  FsckOptions fsck;
+  fsck.check_stale_data = true;
+  ASSERT_TRUE(FsckChecker(&img, fsck).Check().Clean());
+  FsckRepairReport repair = FsckRepairer(&img, fsck).Repair();
+  EXPECT_TRUE(repair.clean_after);
+  EXPECT_EQ(repair.TotalFixes(), 0u);
+  EXPECT_EQ(img.WriteCount(), writes_before) << "repair wrote to a clean image";
+}
+
 // Chains fallback variant (barrier instead of freed-resource tracking)
 // must be equally safe, just slower.
 TEST(CrashSweepChainsFallbackTest, BarrierVariantIsSafe) {

@@ -2,7 +2,11 @@
 // discipline from the paper's section 3.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/disk/disk_image.h"
@@ -334,6 +338,157 @@ TEST(DriverTraceTest, ResponseTimeDecomposes) {
   const auto& t = rig.driver->Traces().at(0);
   EXPECT_EQ(t.QueueDelay() + t.AccessTime(), t.ResponseTime());
   EXPECT_GT(t.AccessTime(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Trace-record property tests: reconstruct driver behaviour from the
+// stats registry's JSONL trace and check scheduling invariants over whole
+// runs instead of hand-picked completion orders.
+// ---------------------------------------------------------------------
+
+// A Rig whose driver shares an external registry with tracing on.
+struct TracedRig {
+  explicit TracedRig(DriverConfig cfg = {})
+      : model(DiskGeometry{}), image(DiskGeometry{}.total_blocks) {
+    stats.SetClock([this] { return engine.Now(); });
+    stats.EnableTrace();
+    cfg.stats = &stats;
+    driver = std::make_unique<DiskDriver>(&engine, &model, &image, cfg);
+  }
+  Engine engine;
+  DiskModel model;
+  DiskImage image;
+  StatsRegistry stats;
+  std::unique_ptr<DiskDriver> driver;
+};
+
+bool IsEvent(const std::string& line, std::string_view event) {
+  return line.find("\"event\":\"" + std::string(event) + "\"") != std::string::npos;
+}
+
+int64_t Field(const std::string& line, const std::string& key) {
+  size_t pos = line.find("\"" + key + "\":");
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << line;
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  return std::atoll(line.c_str() + pos + key.size() + 3);
+}
+
+TEST(DriverTracePropertyTest, CLookNeverServicesOutOfSweepOrder) {
+  TracedRig rig;  // kNone: every pending request is eligible.
+  // Scrambled far-apart single-block writes (no two adjacent, so nothing
+  // concatenates) issued in bursts, so picks happen against many
+  // different pending sets.
+  auto body = [](TracedRig* rig) -> Task<void> {
+    constexpr uint32_t kBlocks[] = {9000, 120, 5400, 30,   7700, 2300, 880, 6100,
+                                    40,   3500, 9900, 1500, 260,  4800, 710};
+    int i = 0;
+    for (uint32_t b : kBlocks) {
+      rig->driver->IssueWrite(b, {MakeBlock(1)});
+      if (++i % 3 == 0) {
+        co_await rig->engine.Sleep(Usec(1500));
+      }
+    }
+  };
+  rig.engine.Spawn(body(&rig), "issuer");
+  rig.engine.Run();
+
+  // Replay the trace: `pending` is exactly the queue content at each
+  // service decision (the service record is emitted at pick time, with no
+  // suspension in between, so stream order is decision order).
+  std::map<int64_t, int64_t> pending;  // id -> blkno.
+  int services = 0;
+  for (const std::string& line : rig.stats.trace_lines()) {
+    if (IsEvent(line, "disk.issue")) {
+      pending[Field(line, "id")] = Field(line, "blkno");
+    } else if (IsEvent(line, "disk.service")) {
+      int64_t id = Field(line, "id");
+      int64_t blkno = Field(line, "blkno");
+      int64_t origin = Field(line, "origin");
+      ASSERT_TRUE(pending.contains(id)) << line;
+      pending.erase(id);
+      // C-LOOK: nothing pending may lie between the sweep origin and the
+      // chosen block (forward), and a wrap pick must mean the forward
+      // window was empty AND the pick is the lowest pending block.
+      for (const auto& [pid, pblk] : pending) {
+        if (blkno >= origin) {
+          EXPECT_FALSE(pblk >= origin && pblk < blkno)
+              << "pending block " << pblk << " skipped: origin " << origin << " serviced "
+              << blkno;
+        } else {
+          EXPECT_LT(pblk, origin) << "forward candidate " << pblk << " ignored by wrap to "
+                                  << blkno << " (origin " << origin << ")";
+          EXPECT_GE(pblk, blkno) << "wrap skipped lower block " << pblk;
+        }
+      }
+      ++services;
+    }
+  }
+  EXPECT_EQ(services, 15);
+  EXPECT_TRUE(pending.empty());
+  EXPECT_EQ(rig.stats.trace_records_dropped(), 0u);
+}
+
+TEST(DriverTracePropertyTest, ConcatNeverMergesAcrossFlagBoundary) {
+  TracedRig rig{DriverConfig{.mode = OrderingMode::kFlag, .semantics = FlagSemantics::kPart}};
+  // Sequential run with a flagged request in the middle: neither the
+  // flagged request nor its successor may concatenate.
+  rig.driver->IssueWrite(500, {MakeBlock(1)});
+  rig.driver->IssueWrite(501, {MakeBlock(2)}, OrderingTag{.flag = true, .deps = {}});
+  rig.driver->IssueWrite(502, {MakeBlock(3)});
+  // Control group: a plain sequential pair, which must concatenate.
+  rig.driver->IssueWrite(800, {MakeBlock(4)});
+  rig.driver->IssueWrite(801, {MakeBlock(5)});
+  rig.engine.Run();
+
+  int concats = 0;
+  int flagged_services = 0;
+  for (const std::string& line : rig.stats.trace_lines()) {
+    if (IsEvent(line, "disk.concat")) {
+      ++concats;
+      EXPECT_EQ(Field(line, "blkno"), 800) << "merged across the flag boundary: " << line;
+      EXPECT_EQ(Field(line, "count"), 2);
+    } else if (IsEvent(line, "disk.service")) {
+      int64_t blkno = Field(line, "blkno");
+      if (blkno >= 500 && blkno <= 502) {
+        // The flagged run must arrive as three 1-block device requests.
+        EXPECT_EQ(Field(line, "count"), 1) << line;
+        ++flagged_services;
+      }
+    }
+  }
+  EXPECT_EQ(concats, 1);
+  EXPECT_EQ(flagged_services, 3);
+}
+
+TEST(DriverTracePropertyTest, ConcatNeverMergesOntoChainDependency) {
+  TracedRig rig{DriverConfig{.mode = OrderingMode::kChains}};
+  // b depends on a; merging them into one device transfer would deadlock,
+  // so the sequential pair must stay two requests.
+  uint64_t a = rig.driver->IssueWrite(700, {MakeBlock(1)});
+  rig.driver->IssueWrite(701, {MakeBlock(2)}, OrderingTag{.flag = false, .deps = {a}});
+  // Control group: sequential pair without a dependency between them.
+  rig.driver->IssueWrite(900, {MakeBlock(3)});
+  rig.driver->IssueWrite(901, {MakeBlock(4)});
+  rig.engine.Run();
+
+  int concats = 0;
+  int chain_services = 0;
+  for (const std::string& line : rig.stats.trace_lines()) {
+    if (IsEvent(line, "disk.concat")) {
+      ++concats;
+      EXPECT_EQ(Field(line, "blkno"), 900) << "merged across a chain dependency: " << line;
+    } else if (IsEvent(line, "disk.service")) {
+      int64_t blkno = Field(line, "blkno");
+      if (blkno == 700 || blkno == 701) {
+        EXPECT_EQ(Field(line, "count"), 1) << line;
+        ++chain_services;
+      }
+    }
+  }
+  EXPECT_EQ(concats, 1);
+  EXPECT_EQ(chain_services, 2);
 }
 
 TEST(DriverTraceTest, HasPendingWriteSeesQueuedRange) {
