@@ -6,8 +6,8 @@
 namespace mufs {
 namespace {
 
-int Main() {
-  const int kUsers = 4;
+int Main(const BenchArgs& args) {
+  const int users = args.users;
   TreeSpec tree = GenerateTree();
   printf("Section 3.3 ablation: block copy (-CB) with scheduler chains\n");
   PrintRule(76);
@@ -18,7 +18,7 @@ int Main() {
   double copy_off = 0;
   double rm_on = 0;
   double rm_off = 0;
-  StatsSidecar sidecar("bench_ablation_blockcopy");
+  StatsSidecar sidecar("bench_ablation_blockcopy", args.stats_out);
   for (bool cb : {false, true}) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerChains);
     cfg.copy_blocks = cb;
@@ -30,7 +30,7 @@ int Main() {
       UserFn body = [&tree](Machine& mm, Proc& p, int u) -> Task<void> {
         (void)co_await CopyTree(mm, p, tree, "/src", "/copy" + std::to_string(u));
       };
-      RunMeasurement meas = RunMultiUser(m, kUsers, setup, body);
+      RunMeasurement meas = RunMultiUser(m, users, setup, body);
       sidecar.Append(std::string("copy/") + (cb ? "cb" : "nocb"), meas.stats_json);
       printf("%-12s %-8s %12.1f %12llu %16llu\n", "copy", cb ? "yes" : "no",
              meas.ElapsedAvgSeconds(), static_cast<unsigned long long>(meas.disk_requests),
@@ -38,7 +38,7 @@ int Main() {
       (cb ? copy_on : copy_off) = meas.ElapsedAvgSeconds();
     }
     {
-      RunMeasurement meas = RunRemoveBenchmark(cfg, kUsers, tree);
+      RunMeasurement meas = RunRemoveBenchmark(cfg, users, tree);
       sidecar.Append(std::string("remove/") + (cb ? "cb" : "nocb"), meas.stats_json);
       printf("%-12s %-8s %12.2f %12llu\n", "remove", cb ? "yes" : "no",
              meas.ElapsedAvgSeconds(), static_cast<unsigned long long>(meas.disk_requests));
@@ -56,4 +56,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/4);
+  return mufs::Main(args);
+}

@@ -6,20 +6,20 @@
 namespace mufs {
 namespace {
 
-int Main() {
-  const int kUsers = 4;
+int Main(const BenchArgs& args) {
+  const int users = args.users;
   TreeSpec tree = GenerateTree();
-  printf("Section 3.2 ablation: chains de-allocation handling, %d-user remove\n", kUsers);
+  printf("Section 3.2 ablation: chains de-allocation handling, %d-user remove\n", users);
   PrintRule(64);
   printf("%-28s %12s %12s\n", "Variant", "Elapsed(s)", "DiskReqs");
   PrintRule(64);
   double tracked = 0;
   double barrier = 0;
-  StatsSidecar sidecar("bench_ablation_chains");
+  StatsSidecar sidecar("bench_ablation_chains", args.stats_out);
   for (bool track : {false, true}) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerChains);
     cfg.chains_track_freed = track;
-    RunMeasurement meas = RunRemoveBenchmark(cfg, kUsers, tree);
+    RunMeasurement meas = RunRemoveBenchmark(cfg, users, tree);
     sidecar.Append(track ? "tracking" : "barrier", meas.stats_json);
     printf("%-28s %12.2f %12llu\n",
            track ? "freed-resource tracking" : "barrier fallback",
@@ -37,4 +37,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/4);
+  return mufs::Main(args);
+}

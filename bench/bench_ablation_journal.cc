@@ -1,0 +1,91 @@
+// Journaling ablation: group-commit interval x log size for the
+// metadata-update churn workload (per-user create/remove of 1 KB files).
+//
+// The two knobs trade off against each other: longer commit intervals
+// batch more updates per transaction (fewer log writes per operation)
+// but hold more dirty metadata in memory; smaller logs force checkpoint
+// stalls, which serialize against the in-place flush of the whole cache.
+// A final column reports what crash recovery would have to do at the end
+// of the run (committed transactions still in the ring).
+#include "bench/bench_common.h"
+
+#include "src/journal/journal_recovery.h"
+
+namespace mufs {
+namespace {
+
+uint64_t Metric(Machine& m, const char* name) {
+  return m.stats().counter(name).value();
+}
+
+int Main(const BenchArgs& args) {
+  const uint32_t kLogBlocks[] = {64, 256, 1024};
+  const struct {
+    SimDuration interval;
+    const char* name;
+  } kIntervals[] = {
+      {Msec(250), "0.25s"},
+      {Sec(1), "1s"},
+      {Sec(4), "4s"},
+  };
+  const int users = args.users;
+  // Enough churn to span many group-commit intervals and wrap the
+  // smaller rings (journaled metadata updates run at memory speed, so a
+  // create/remove pair costs well under a millisecond of simulated time).
+  const int kFilesPerUser = 1200;
+
+  printf("Journaling ablation: log size x group-commit interval, %d-user create/remove\n",
+         users);
+  PrintRule(100);
+  printf("%-10s %-9s %12s %8s %10s %8s %8s %8s %12s\n", "LogBlocks", "Interval", "Elapsed(s)",
+         "Txns", "LogWrites", "Ckpts", "Stalls", "Forced", "ReplayTxns");
+  PrintRule(100);
+
+  StatsSidecar sidecar("bench_ablation_journal", args.stats_out);
+  for (uint32_t log_blocks : kLogBlocks) {
+    for (const auto& iv : kIntervals) {
+      MachineConfig cfg = BenchConfig(Scheme::kJournaling);
+      cfg.journal_log_blocks = log_blocks;
+      cfg.journal_commit_interval = iv.interval;
+      Machine m(cfg);
+      SetupFn setup = [users](Machine& mm, Proc& p) -> Task<void> {
+        for (int u = 0; u < users; ++u) {
+          (void)co_await mm.fs().Mkdir(p, "/u" + std::to_string(u));
+        }
+      };
+      UserFn body = [kFilesPerUser](Machine& mm, Proc& p, int u) -> Task<void> {
+        (void)co_await CreateRemoveFiles(mm, p, "/u" + std::to_string(u), kFilesPerUser, 1024);
+      };
+      RunMeasurement meas = RunMultiUser(m, users, setup, body,
+                                         /*drop_caches_after_setup=*/false);
+      // What a crash at end-of-run would replay: committed transactions
+      // whose in-place checkpoint hasn't happened yet.
+      DiskImage snapshot = m.CrashNow();
+      JournalReplayReport replay = JournalRecovery(&snapshot).Run();
+
+      std::string label =
+          "log" + std::to_string(log_blocks) + "/interval" + iv.name;
+      sidecar.Append(label, meas.stats_json);
+      printf("%-10u %-9s %12.2f %8llu %10llu %8llu %8llu %8llu %12llu\n", log_blocks, iv.name,
+             meas.ElapsedAvgSeconds(),
+             static_cast<unsigned long long>(Metric(m, "journal.txns")),
+             static_cast<unsigned long long>(Metric(m, "journal.log_writes")),
+             static_cast<unsigned long long>(Metric(m, "journal.checkpoints")),
+             static_cast<unsigned long long>(Metric(m, "journal.checkpoint_stalls")),
+             static_cast<unsigned long long>(Metric(m, "journal.forced_commits")),
+             static_cast<unsigned long long>(replay.txns_replayed));
+    }
+  }
+  PrintRule(100);
+  printf("Expected shape: longer intervals batch more updates per txn (fewer log\n");
+  printf("writes); small logs checkpoint often, stalling commits behind cache flushes.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mufs
+
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/2);
+  return mufs::Main(args);
+}

@@ -8,12 +8,48 @@
 #define MUFS_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/workload/workloads.h"
 
 namespace mufs {
+
+// CLI overrides shared by every bench binary: --users=N scales the
+// multi-user workloads, --stats-out=PATH redirects the JSONL sidecar.
+struct BenchArgs {
+  int users = 0;
+  std::string stats_out;
+};
+
+// Parses the shared flags, REMOVING recognized arguments from argv so a
+// framework (e.g. google-benchmark) can consume whatever remains.
+// Unrecognized arguments are left in place. `default_users` seeds
+// args.users for benches that take a user count.
+inline BenchArgs ParseBenchArgs(int* argc, char** argv, int default_users = 0) {
+  BenchArgs args;
+  args.users = default_users;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view a = argv[i];
+    if (a.rfind("--users=", 0) == 0) {
+      int n = std::atoi(argv[i] + 8);
+      if (n > 0) {
+        args.users = n;
+      } else {
+        std::fprintf(stderr, "warning: ignoring bad %s\n", argv[i]);
+      }
+    } else if (a.rfind("--stats-out=", 0) == 0) {
+      args.stats_out = argv[i] + 12;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return args;
+}
 
 inline MachineConfig BenchConfig(Scheme scheme, bool alloc_init = false) {
   MachineConfig cfg;
@@ -31,7 +67,7 @@ inline MachineConfig BenchConfig(Scheme scheme, bool alloc_init = false) {
 inline const std::vector<Scheme>& AllSchemes() {
   static const std::vector<Scheme> schemes = {
       Scheme::kConventional, Scheme::kSchedulerFlag, Scheme::kSchedulerChains,
-      Scheme::kSoftUpdates, Scheme::kNoOrder};
+      Scheme::kSoftUpdates, Scheme::kJournaling, Scheme::kNoOrder};
   return schemes;
 }
 
@@ -86,7 +122,9 @@ inline void PrintRule(int width = 100) {
 // Deterministic: same build + same seed => byte-identical file.
 class StatsSidecar {
  public:
-  explicit StatsSidecar(const std::string& bench_name) : path_(bench_name + ".stats.jsonl") {
+  // `override_path` (--stats-out) replaces the default path when set.
+  explicit StatsSidecar(const std::string& bench_name, const std::string& override_path = "")
+      : path_(override_path.empty() ? bench_name + ".stats.jsonl" : override_path) {
     f_ = std::fopen(path_.c_str(), "w");
     if (f_ == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());

@@ -16,7 +16,7 @@ struct Variant {
   bool ignore = false;
 };
 
-int Main() {
+int Main(const BenchArgs& args) {
   const Variant kVariants[] = {
       {"Full", Scheme::kSchedulerFlag, FlagSemantics::kFull, false},
       {"Back", Scheme::kSchedulerFlag, FlagSemantics::kBack, false},
@@ -24,19 +24,19 @@ int Main() {
       {"Part-NR", Scheme::kSchedulerFlag, FlagSemantics::kPart, true},
       {"Ignore", Scheme::kSchedulerFlag, FlagSemantics::kPart, true, true},
   };
-  const int kUsers = 4;
+  const int users = args.users;
   TreeSpec tree = GenerateTree();
-  printf("Figure 1 reproduction: ordering-flag semantics, %d-user copy\n", kUsers);
+  printf("Figure 1 reproduction: ordering-flag semantics, %d-user copy\n", users);
   PrintRule(70);
   printf("%-10s %14s %20s\n", "Flag", "Elapsed(s)", "AvgDiskAccess(ms)");
   PrintRule(70);
-  StatsSidecar sidecar("bench_fig1_flag_semantics");
+  StatsSidecar sidecar("bench_fig1_flag_semantics", args.stats_out);
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(v.scheme);
     cfg.flag_semantics = v.semantics;
     cfg.reads_bypass = v.nr;
     cfg.ignore_flags = v.ignore;
-    RunMeasurement meas = RunCopyBenchmark(cfg, kUsers, tree);
+    RunMeasurement meas = RunCopyBenchmark(cfg, users, tree);
     sidecar.Append(v.name, meas.stats_json);
     printf("%-10s %14.1f %20.2f\n", v.name, meas.ElapsedAvgSeconds(), meas.avg_access_ms);
   }
@@ -50,4 +50,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/4);
+  return mufs::Main(args);
+}

@@ -18,7 +18,7 @@ struct Variant {
   bool ignore = false;
 };
 
-int Main() {
+int Main(const BenchArgs& args) {
   const Variant kVariants[] = {
       {"Part", Scheme::kSchedulerFlag, FlagSemantics::kPart, false},
       {"Full-NR", Scheme::kSchedulerFlag, FlagSemantics::kFull, true},
@@ -27,17 +27,17 @@ int Main() {
       {"Ignore", Scheme::kSchedulerFlag, FlagSemantics::kPart, true, true},
   };
   TreeSpec tree = GenerateTree();
-  printf("Figure 2 reproduction: flag semantics, 1-user remove\n");
+  printf("Figure 2 reproduction: flag semantics, %d-user remove\n", args.users);
   PrintRule(70);
   printf("%-10s %14s %22s\n", "Flag", "Elapsed(s)", "AvgDriverResp(ms)");
   PrintRule(70);
-  StatsSidecar sidecar("bench_fig2_remove_semantics");
+  StatsSidecar sidecar("bench_fig2_remove_semantics", args.stats_out);
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(v.scheme);
     cfg.flag_semantics = v.semantics;
     cfg.reads_bypass = v.nr;
     cfg.ignore_flags = v.ignore;
-    RunMeasurement meas = RunRemoveBenchmark(cfg, /*users=*/1, tree);
+    RunMeasurement meas = RunRemoveBenchmark(cfg, args.users, tree);
     sidecar.Append(v.name, meas.stats_json);
     printf("%-10s %14.2f %22.1f\n", v.name, meas.ElapsedAvgSeconds(), meas.avg_response_ms);
   }
@@ -51,4 +51,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/1);
+  return mufs::Main(args);
+}

@@ -12,21 +12,21 @@ struct Variant {
   bool cb;
 };
 
-int Main() {
+int Main(const BenchArgs& args) {
   const Variant kVariants[] = {
       {"Part", false, false},
       {"Part-NR", true, false},
       {"Part-CB", false, true},
       {"Part-NR/CB", true, true},
   };
-  const int kUsers = 4;
+  const int users = args.users;
   TreeSpec tree = GenerateTree();
-  printf("Figure 3 reproduction: Part flag options, %d-user copy\n", kUsers);
+  printf("Figure 3 reproduction: Part flag options, %d-user copy\n", users);
   PrintRule(86);
   printf("%-12s %12s %10s %20s %16s\n", "Variant", "Elapsed(s)", "CPU(s)", "AvgDriverResp(ms)",
          "WriteLockWaits");
   PrintRule(86);
-  StatsSidecar sidecar("bench_fig3_copy_options");
+  StatsSidecar sidecar("bench_fig3_copy_options", args.stats_out);
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerFlag);
     cfg.flag_semantics = FlagSemantics::kPart;
@@ -39,7 +39,7 @@ int Main() {
     UserFn body = [&tree](Machine& mm, Proc& p, int u) -> Task<void> {
       (void)co_await CopyTree(mm, p, tree, "/src", "/copy" + std::to_string(u));
     };
-    RunMeasurement meas = RunMultiUser(m, kUsers, setup, body);
+    RunMeasurement meas = RunMultiUser(m, users, setup, body);
     sidecar.Append(v.name, meas.stats_json);
     printf("%-12s %12.1f %10.1f %20.1f %16llu\n", v.name, meas.ElapsedAvgSeconds(),
            meas.cpu_seconds_total, meas.avg_response_ms,
@@ -54,4 +54,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/4);
+  return mufs::Main(args);
+}

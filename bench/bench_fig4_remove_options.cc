@@ -11,36 +11,36 @@ struct Variant {
   bool cb;
 };
 
-int Main() {
+int Main(const BenchArgs& args) {
   const Variant kVariants[] = {
       {"Part", false, false},
       {"Part-NR", true, false},
       {"Part-CB", false, true},
       {"Part-NR/CB", true, true},
   };
-  const int kUsers = 4;
+  const int users = args.users;
   TreeSpec tree = GenerateTree();
-  printf("Figure 4 reproduction: Part flag options, %d-user remove\n", kUsers);
+  printf("Figure 4 reproduction: Part flag options, %d-user remove\n", users);
   PrintRule(86);
   printf("%-12s %12s %10s %20s %16s\n", "Variant", "Elapsed(s)", "CPU(s)", "AvgDriverResp(ms)",
          "WriteLockWaits");
   PrintRule(86);
-  StatsSidecar sidecar("bench_fig4_remove_options");
+  StatsSidecar sidecar("bench_fig4_remove_options", args.stats_out);
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerFlag);
     cfg.flag_semantics = FlagSemantics::kPart;
     cfg.reads_bypass = v.nr;
     cfg.copy_blocks = v.cb;
     Machine m(cfg);
-    SetupFn setup = [&tree, kUsers](Machine& mm, Proc& p) -> Task<void> {
-      for (int u = 0; u < kUsers; ++u) {
+    SetupFn setup = [&tree, users](Machine& mm, Proc& p) -> Task<void> {
+      for (int u = 0; u < users; ++u) {
         (void)co_await PopulateTree(mm, p, tree, "/tree" + std::to_string(u));
       }
     };
     UserFn body = [&tree](Machine& mm, Proc& p, int u) -> Task<void> {
       (void)co_await RemoveTree(mm, p, tree, "/tree" + std::to_string(u));
     };
-    RunMeasurement meas = RunMultiUser(m, kUsers, setup, body, /*drop_caches=*/true);
+    RunMeasurement meas = RunMultiUser(m, users, setup, body, /*drop_caches=*/true);
     sidecar.Append(v.name, meas.stats_json);
     printf("%-12s %12.2f %10.2f %20.1f %16llu\n", v.name, meas.ElapsedAvgSeconds(),
            meas.cpu_seconds_total, meas.avg_response_ms,
@@ -55,4 +55,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/4);
+  return mufs::Main(args);
+}

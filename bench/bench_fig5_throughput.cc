@@ -56,7 +56,7 @@ double RunPhase(Scheme scheme, Phase phase, int users, int files_per_user,
   // (the paper removes "newly copied" files); keep caches warm.
   RunMeasurement meas = RunMultiUser(m, users, setup, body,
                                      /*drop_caches_after_setup=*/phase != Phase::kRemove);
-  sidecar.Append(std::string(PhaseName(phase)) + "/" + std::string(ToString(scheme)) + "/" +
+  sidecar.Append(std::string(PhaseName(phase)) + "/" + std::string(SchemeName(scheme)) + "/" +
                      std::to_string(users) + "u",
                  meas.stats_json);
   double files = static_cast<double>(files_per_user) * users;
@@ -64,8 +64,10 @@ double RunPhase(Scheme scheme, Phase phase, int users, int files_per_user,
   return secs > 0 ? files / secs : 0;
 }
 
-int Main() {
-  const int kUserCounts[] = {1, 2, 4, 8};
+int Main(const BenchArgs& args) {
+  // --users=N narrows the sweep to a single user count.
+  const std::vector<int> user_counts =
+      args.users > 0 ? std::vector<int>{args.users} : std::vector<int>{1, 2, 4, 8};
   const struct {
     Phase phase;
     const char* title;
@@ -74,19 +76,19 @@ int Main() {
       {Phase::kRemove, "Figure 5b: 1KB file removes (files/second)"},
       {Phase::kCreateRemove, "Figure 5c: 1KB file create/removes (pairs/second)"},
   };
-  StatsSidecar sidecar("bench_fig5_throughput");
+  StatsSidecar sidecar("bench_fig5_throughput", args.stats_out);
   for (const auto& ph : kPhases) {
     printf("%s\n", ph.title);
     PrintRule(78);
     printf("%-18s", "Scheme");
-    for (int users : kUserCounts) {
+    for (int users : user_counts) {
       printf(" %8d-user", users);
     }
     printf("\n");
     PrintRule(78);
     for (Scheme s : AllSchemes()) {
-      printf("%-18s", std::string(ToString(s)).c_str());
-      for (int users : kUserCounts) {
+      printf("%-18s", std::string(SchemeName(s)).c_str());
+      for (int users : user_counts) {
         double tput = RunPhase(s, ph.phase, users, kTotalFiles / users, sidecar);
         printf(" %13.1f", tput);
       }
@@ -103,4 +105,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv);
+  return mufs::Main(args);
+}

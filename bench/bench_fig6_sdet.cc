@@ -15,26 +15,28 @@ double RunSdet(Scheme scheme, int concurrency, StatsSidecar& sidecar) {
   };
   RunMeasurement meas = RunMultiUser(m, concurrency, setup, body,
                                      /*drop_caches_after_setup=*/false);
-  sidecar.Append(std::string(ToString(scheme)) + "/" + std::to_string(concurrency) + "c",
+  sidecar.Append(std::string(SchemeName(scheme)) + "/" + std::to_string(concurrency) + "c",
                  meas.stats_json);
   double hours = ToSeconds(meas.wall) / 3600.0;
   return hours > 0 ? static_cast<double>(concurrency) / hours : 0;
 }
 
-int Main() {
-  const int kConcurrency[] = {1, 2, 4, 8};
+int Main(const BenchArgs& args) {
+  // --users=N narrows the sweep to a single concurrency level.
+  const std::vector<int> concurrency =
+      args.users > 0 ? std::vector<int>{args.users} : std::vector<int>{1, 2, 4, 8};
   printf("Figure 6 reproduction: Sdet throughput (scripts/hour)\n");
   PrintRule(78);
   printf("%-18s", "Scheme");
-  for (int c : kConcurrency) {
+  for (int c : concurrency) {
     printf(" %8d-conc", c);
   }
   printf("\n");
   PrintRule(78);
-  StatsSidecar sidecar("bench_fig6_sdet");
+  StatsSidecar sidecar("bench_fig6_sdet", args.stats_out);
   for (Scheme s : AllSchemes()) {
-    printf("%-18s", std::string(ToString(s)).c_str());
-    for (int c : kConcurrency) {
+    printf("%-18s", std::string(SchemeName(s)).c_str());
+    for (int c : concurrency) {
       printf(" %13.1f", RunSdet(s, c, sidecar));
     }
     printf("\n");
@@ -48,4 +50,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv);
+  return mufs::Main(args);
+}

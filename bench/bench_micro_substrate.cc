@@ -90,8 +90,8 @@ BENCHMARK(BM_FileCreateSimulated)
 // simulated time), so they cannot emit per-run stats themselves. Run one
 // small deterministic simulated workload instead so this binary, like
 // every other bench, leaves a machine-readable record behind.
-void EmitSidecar() {
-  StatsSidecar sidecar("bench_micro_substrate");
+void EmitSidecar(const BenchArgs& args) {
+  StatsSidecar sidecar("bench_micro_substrate", args.stats_out);
   MachineConfig cfg;
   cfg.scheme = Scheme::kSoftUpdates;
   Machine m(cfg);
@@ -113,12 +113,14 @@ void EmitSidecar() {
 }  // namespace mufs
 
 int main(int argc, char** argv) {
+  // Strip the shared mufs flags first; google-benchmark gets the rest.
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  mufs::EmitSidecar();
+  mufs::EmitSidecar(args);
   return 0;
 }

@@ -29,10 +29,10 @@ constexpr PaperRow kPaper[] = {
     {"No Order", 'N', 315.3, 100.0, 68.4, 31574, 304.1},
 };
 
-int Main() {
-  const int kUsers = 4;
+int Main(const BenchArgs& args) {
+  const int users = args.users;
   TreeSpec tree = GenerateTree();
-  printf("Table 1 reproduction: %d-user copy of %zu files / %.1f MB\n", kUsers,
+  printf("Table 1 reproduction: %d-user copy of %zu files / %.1f MB\n", users,
          tree.files.size(), static_cast<double>(tree.TotalBytes()) / 1e6);
   PrintRule();
   printf("%-18s %-5s %12s %10s %10s %10s %12s\n", "Scheme", "Init", "Elapsed(s)", "%NoOrder",
@@ -53,20 +53,20 @@ int Main() {
 
   // Run No Order first to establish the baseline.
   double no_order_elapsed = 0;
-  StatsSidecar sidecar("bench_table1_copy");
+  StatsSidecar sidecar("bench_table1_copy", args.stats_out);
   std::vector<std::pair<Row, RunMeasurement>> results;
   for (const Row& row : rows) {
-    RunMeasurement meas = RunCopyBenchmark(BenchConfig(row.scheme, row.alloc_init), kUsers, tree);
+    RunMeasurement meas = RunCopyBenchmark(BenchConfig(row.scheme, row.alloc_init), users, tree);
     if (row.scheme == Scheme::kNoOrder) {
       no_order_elapsed = meas.ElapsedAvgSeconds();
     }
-    sidecar.Append(std::string(ToString(row.scheme)) + (row.alloc_init ? "/init" : "/noinit"),
+    sidecar.Append(std::string(SchemeName(row.scheme)) + (row.alloc_init ? "/init" : "/noinit"),
                    meas.stats_json);
     results.emplace_back(row, meas);
   }
   for (const auto& [row, meas] : results) {
     printf("%-18s %-5s %12.1f %10.1f %10.1f %10llu %12.1f\n",
-           std::string(ToString(row.scheme)).c_str(), row.alloc_init ? "Y" : "N",
+           std::string(SchemeName(row.scheme)).c_str(), row.alloc_init ? "Y" : "N",
            meas.ElapsedAvgSeconds(),
            no_order_elapsed > 0 ? 100.0 * meas.ElapsedAvgSeconds() / no_order_elapsed : 0.0,
            meas.cpu_seconds_total, static_cast<unsigned long long>(meas.disk_requests),
@@ -84,4 +84,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/4);
+  return mufs::Main(args);
+}

@@ -19,10 +19,10 @@ constexpr PaperRow kPaper[] = {
     {"No Order", 7.64, 100.0, 7.44, 278, 84.03},
 };
 
-int Main() {
-  const int kUsers = 4;
+int Main(const BenchArgs& args) {
+  const int users = args.users;
   TreeSpec tree = GenerateTree();
-  printf("Table 2 reproduction: %d-user remove of %zu-file trees\n", kUsers,
+  printf("Table 2 reproduction: %d-user remove of %zu-file trees\n", users,
          tree.files.size());
   PrintRule();
   printf("%-18s %12s %10s %10s %10s %12s\n", "Scheme", "Elapsed(s)", "%NoOrder", "CPU(s)",
@@ -30,18 +30,18 @@ int Main() {
   PrintRule();
 
   double no_order_elapsed = 0;
-  StatsSidecar sidecar("bench_table2_remove");
+  StatsSidecar sidecar("bench_table2_remove", args.stats_out);
   std::vector<std::pair<Scheme, RunMeasurement>> results;
   for (Scheme s : AllSchemes()) {
-    RunMeasurement meas = RunRemoveBenchmark(BenchConfig(s), kUsers, tree);
+    RunMeasurement meas = RunRemoveBenchmark(BenchConfig(s), users, tree);
     if (s == Scheme::kNoOrder) {
       no_order_elapsed = meas.ElapsedAvgSeconds();
     }
-    sidecar.Append(std::string(ToString(s)), meas.stats_json);
+    sidecar.Append(std::string(SchemeName(s)), meas.stats_json);
     results.emplace_back(s, meas);
   }
   for (const auto& [s, meas] : results) {
-    printf("%-18s %12.2f %10.1f %10.2f %10llu %12.1f\n", std::string(ToString(s)).c_str(),
+    printf("%-18s %12.2f %10.1f %10.2f %10llu %12.1f\n", std::string(SchemeName(s)).c_str(),
            meas.ElapsedAvgSeconds(),
            no_order_elapsed > 0 ? 100.0 * meas.ElapsedAvgSeconds() / no_order_elapsed : 0.0,
            meas.cpu_seconds_total, static_cast<unsigned long long>(meas.disk_requests),
@@ -59,4 +59,7 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/4);
+  return mufs::Main(args);
+}

@@ -19,7 +19,7 @@ constexpr PaperRow kPaper[] = {
     {"No Order", 0.37, 2.74, 4.14, 5.84, 276.6, 289.7},
 };
 
-int Main() {
+int Main(const BenchArgs& args) {
   // The original Andrew tree is ~70 files / ~1.4 MB of sources.
   TreeGenOptions opts;
   opts.file_count = 70;
@@ -34,7 +34,7 @@ int Main() {
   printf("%-18s %9s %9s %9s %9s %9s %9s\n", "Scheme", "MakeDir", "Copy", "ScanDir", "ReadAll",
          "Compile", "Total");
   PrintRule(96);
-  StatsSidecar sidecar("bench_table3_andrew");
+  StatsSidecar sidecar("bench_table3_andrew", args.stats_out);
   for (Scheme s : AllSchemes()) {
     MachineConfig cfg = BenchConfig(s, /*alloc_init=*/s == Scheme::kSoftUpdates);
     Machine m(cfg);
@@ -46,8 +46,8 @@ int Main() {
       times = co_await AndrewBenchmark(mm, p, tree, "/andrew-src", "/andrew-work");
     };
     RunMeasurement meas = RunMultiUser(m, 1, setup, body);
-    sidecar.Append(std::string(ToString(s)), meas.stats_json);
-    printf("%-18s %9.2f %9.2f %9.2f %9.2f %9.1f %9.1f\n", std::string(ToString(s)).c_str(),
+    sidecar.Append(std::string(SchemeName(s)), meas.stats_json);
+    printf("%-18s %9.2f %9.2f %9.2f %9.2f %9.1f %9.1f\n", std::string(SchemeName(s)).c_str(),
            times.make_dir, times.copy, times.scan_dir, times.read_all, times.compile,
            times.Total());
   }
@@ -65,4 +65,8 @@ int Main() {
 }  // namespace
 }  // namespace mufs
 
-int main() { return mufs::Main(); }
+int main(int argc, char** argv) {
+  // Andrew is inherently single-user; only --stats-out applies.
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/1);
+  return mufs::Main(args);
+}

@@ -1,6 +1,7 @@
 #include "src/core/machine.h"
 
 #include "src/core/softupdates/soft_updates_policy.h"
+#include "src/journal/journal_policy.h"
 
 namespace mufs {
 
@@ -16,6 +17,26 @@ std::string_view ToString(Scheme s) {
       return "Scheduler Chains";
     case Scheme::kSoftUpdates:
       return "Soft Updates";
+    case Scheme::kJournaling:
+      return "Journaling";
+  }
+  return "?";
+}
+
+std::string_view SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kNoOrder:
+      return "NoOrder";
+    case Scheme::kConventional:
+      return "Conventional";
+    case Scheme::kSchedulerFlag:
+      return "SchedulerFlag";
+    case Scheme::kSchedulerChains:
+      return "SchedulerChains";
+    case Scheme::kSoftUpdates:
+      return "SoftUpdates";
+    case Scheme::kJournaling:
+      return "Journaling";
   }
   return "?";
 }
@@ -55,7 +76,7 @@ CacheConfig MakeCacheConfig(const MachineConfig& cfg, StatsRegistry* stats) {
   return c;
 }
 
-std::unique_ptr<OrderingPolicy> MakePolicy(const MachineConfig& cfg) {
+std::unique_ptr<OrderingPolicy> MakePolicy(const MachineConfig& cfg, JournalManager* journal) {
   switch (cfg.scheme) {
     case Scheme::kNoOrder:
       return std::make_unique<NoOrderPolicy>();
@@ -67,6 +88,8 @@ std::unique_ptr<OrderingPolicy> MakePolicy(const MachineConfig& cfg) {
       return std::make_unique<SchedulerChainPolicy>(cfg.chains_track_freed);
     case Scheme::kSoftUpdates:
       return std::make_unique<SoftUpdatesPolicy>();
+    case Scheme::kJournaling:
+      return std::make_unique<JournalPolicy>(journal);
   }
   return nullptr;
 }
@@ -102,9 +125,17 @@ Machine::Machine(MachineConfig config) : config_(config) {
   fs_ = std::make_unique<FileSystem>(engine_.get(), cpu_.get(), cache_.get(), syncer_.get(),
                                      fs_cfg);
   if (config_.format) {
-    FileSystem::Mkfs(image_.get(), config_.total_inodes);
+    FileSystem::Mkfs(image_.get(), config_.total_inodes,
+                     config_.scheme == Scheme::kJournaling ? config_.journal_log_blocks : 0);
   }
-  policy_ = MakePolicy(config_);
+  if (config_.scheme == Scheme::kJournaling) {
+    JournalConfig jcfg;
+    jcfg.commit_interval = config_.journal_commit_interval;
+    journal_ = std::make_unique<JournalManager>(engine_.get(), driver_.get(), cache_.get(),
+                                                image_.get(), stats_.get(), jcfg);
+    journal_->AttachFs(fs_.get());
+  }
+  policy_ = MakePolicy(config_, journal_.get());
   fs_->SetPolicy(policy_.get());
 }
 
@@ -122,14 +153,30 @@ Proc Machine::MakeProc(std::string name) {
 }
 
 Task<void> Machine::Boot(Proc& proc) {
+  if (config_.scheme == Scheme::kJournaling) {
+    // Crash recovery: replay committed log transactions into the image
+    // before the file system reads anything from it.
+    last_replay_ = JournalRecovery(image_.get()).Run();
+    stats_->counter("journal.replay_txns").Inc(last_replay_.txns_replayed);
+    stats_->counter("journal.replay_blocks").Inc(last_replay_.blocks_replayed);
+    if (last_replay_.torn_tail) {
+      stats_->counter("journal.replay_torn_tails").Inc();
+    }
+  }
   FsStatus s = co_await fs_->Mount(proc);
   (void)s;
   assert(s == FsStatus::kOk);
   syncer_->Start();
+  if (journal_ != nullptr) {
+    co_await journal_->Start();
+  }
 }
 
 Task<void> Machine::Shutdown(Proc& proc) {
   co_await fs_->SyncEverything(proc);
+  if (journal_ != nullptr) {
+    journal_->Stop();
+  }
   syncer_->Stop();
 }
 
@@ -145,7 +192,7 @@ std::string Machine::DumpStatsJson() const {
       hits + misses > 0 ? static_cast<double>(hits) / static_cast<double>(hits + misses) : 0.0;
 
   std::string out = "{\"scheme\":\"";
-  JsonEscape(ToString(config_.scheme), &out);
+  JsonEscape(SchemeName(config_.scheme), &out);
   out += "\",\"seed\":";
   out += std::to_string(config_.seed);
   out += ",\"sim_time_ns\":";

@@ -21,6 +21,8 @@
 #include "src/disk/disk_model.h"
 #include "src/driver/disk_driver.h"
 #include "src/fs/filesystem.h"
+#include "src/journal/journal_manager.h"
+#include "src/journal/journal_recovery.h"
 #include "src/sim/cpu.h"
 #include "src/sim/engine.h"
 
@@ -32,9 +34,15 @@ enum class Scheme {
   kSchedulerFlag,
   kSchedulerChains,
   kSoftUpdates,
+  kJournaling,
 };
 
+// Display name with spaces ("Soft Updates"), used in figures and logs.
 std::string_view ToString(Scheme s);
+// Compact identifier-safe name ("SoftUpdates"), used in stats sidecars,
+// bench tables and gtest parameter names. The one place scheme names are
+// stringified - everything else calls one of these two.
+std::string_view SchemeName(Scheme s);
 
 struct MachineConfig {
   Scheme scheme = Scheme::kConventional;
@@ -55,6 +63,11 @@ struct MachineConfig {
 
   // Enforce allocation initialization for file data blocks (tables 1).
   bool alloc_init = false;
+
+  // Journaling options (Scheme::kJournaling only): size of the on-disk
+  // log extent (journal superblock + ring) and the group-commit cadence.
+  uint32_t journal_log_blocks = 1024;
+  SimDuration journal_commit_interval = Sec(1);
 
   DiskGeometry geometry;
   size_t cache_capacity_blocks = 8192;
@@ -89,6 +102,11 @@ class Machine {
   SyncerDaemon& syncer() { return *syncer_; }
   FileSystem& fs() { return *fs_; }
   OrderingPolicy& policy() { return *policy_; }
+  // Null unless the scheme is kJournaling.
+  JournalManager* journal() { return journal_.get(); }
+  // Result of the crash-recovery replay run by the last Boot (all zeros
+  // for non-journaling schemes and fresh images).
+  const JournalReplayReport& last_replay() const { return last_replay_; }
   StatsRegistry& stats() { return *stats_; }
   const StatsRegistry& stats() const { return *stats_; }
 
@@ -126,7 +144,9 @@ class Machine {
   std::unique_ptr<BufferCache> cache_;
   std::unique_ptr<SyncerDaemon> syncer_;
   std::unique_ptr<FileSystem> fs_;
+  std::unique_ptr<JournalManager> journal_;
   std::unique_ptr<OrderingPolicy> policy_;
+  JournalReplayReport last_replay_;
   Pid next_pid_ = 1;
 };
 

@@ -56,8 +56,9 @@ Task<void> OrderingPolicy::DrainAllDirty(Proc& proc) {
 // ---------------------------------------------------------------------
 
 Task<void> NoOrderPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
-                                          bool init_required) {
+                                          bool init_required, BlockRole role) {
   (void)init_required;  // Ignored: that is the point of this baseline.
+  (void)role;
   NoteOrderingPoint("alloc", "delayed");
   co_await fs()->CommitBlockPointer(proc, ip, loc, data_buf->blkno());
 }
@@ -106,7 +107,8 @@ Task<void> NoOrderPolicy::FlushAll(Proc& proc) { co_await DrainAllDirty(proc); }
 // ---------------------------------------------------------------------
 
 Task<void> ConventionalPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf,
-                                               PtrLoc loc, bool init_required) {
+                                               PtrLoc loc, bool init_required, BlockRole role) {
+  (void)role;
   NoteOrderingPoint("alloc", init_required ? "sync_write" : "delayed");
   if (init_required) {
     // Synchronously write zeroes to the new block before the pointer can
@@ -194,7 +196,8 @@ Task<void> ConventionalPolicy::FlushAll(Proc& proc) { co_await DrainAllDirty(pro
 // ---------------------------------------------------------------------
 
 Task<void> SchedulerFlagPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf,
-                                                PtrLoc loc, bool init_required) {
+                                                PtrLoc loc, bool init_required, BlockRole role) {
+  (void)role;
   NoteOrderingPoint("alloc", init_required ? "flagged_write" : "delayed");
   if (init_required) {
     // Asynchronous flagged init write from the zero block; the pointer
@@ -292,7 +295,8 @@ std::vector<uint64_t> SchedulerChainPolicy::BarrierDeps() {
 }
 
 Task<void> SchedulerChainPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf,
-                                                 PtrLoc loc, bool init_required) {
+                                                 PtrLoc loc, bool init_required, BlockRole role) {
+  (void)role;
   NoteOrderingPoint("alloc", init_required ? "chain_dep" : "delayed");
   std::vector<uint64_t> reuse =
       track_freed_ ? ReuseDeps(data_buf->blkno()) : BarrierDeps();

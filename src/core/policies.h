@@ -20,7 +20,7 @@ class NoOrderPolicy final : public OrderingPolicy {
   std::string_view Name() const override { return "NoOrder"; }
   bool WriteThroughInodes() const override { return false; }
   Task<void> SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
-                             bool init_required) override;
+                             bool init_required, BlockRole role) override;
   Task<void> SetupBlockFree(Proc& proc, Inode& ip, std::vector<uint32_t> blocks,
                             std::vector<BufRef> updated_indirects) override;
   Task<void> SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_buf, uint32_t offset, Inode& target,
@@ -38,7 +38,7 @@ class ConventionalPolicy final : public OrderingPolicy {
  public:
   std::string_view Name() const override { return "Conventional"; }
   Task<void> SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
-                             bool init_required) override;
+                             bool init_required, BlockRole role) override;
   Task<void> SetupBlockFree(Proc& proc, Inode& ip, std::vector<uint32_t> blocks,
                             std::vector<BufRef> updated_indirects) override;
   Task<void> SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_buf, uint32_t offset, Inode& target,
@@ -58,7 +58,7 @@ class SchedulerFlagPolicy final : public OrderingPolicy {
  public:
   std::string_view Name() const override { return "SchedulerFlag"; }
   Task<void> SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
-                             bool init_required) override;
+                             bool init_required, BlockRole role) override;
   Task<void> SetupBlockFree(Proc& proc, Inode& ip, std::vector<uint32_t> blocks,
                             std::vector<BufRef> updated_indirects) override;
   Task<void> SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_buf, uint32_t offset, Inode& target,
@@ -83,7 +83,7 @@ class SchedulerChainPolicy final : public OrderingPolicy {
 
   std::string_view Name() const override { return "SchedulerChains"; }
   Task<void> SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
-                             bool init_required) override;
+                             bool init_required, BlockRole role) override;
   Task<void> SetupBlockFree(Proc& proc, Inode& ip, std::vector<uint32_t> blocks,
                             std::vector<BufRef> updated_indirects) override;
   Task<void> SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_buf, uint32_t offset, Inode& target,

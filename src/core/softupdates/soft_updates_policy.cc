@@ -140,7 +140,9 @@ uint32_t PointerOffset(const SuperBlock& sb, const Inode& ip, const PtrLoc& loc)
 }  // namespace
 
 Task<void> SoftUpdatesPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
-                                              bool init_required) {
+                                              bool init_required,
+                                              BlockRole role) {
+  (void)role;
   NoteOrderingPoint("alloc", init_required ? "dep_record" : "delayed");
   if (!init_required) {
     // Alloc-init disabled for plain file data (the paper's "N" rows):

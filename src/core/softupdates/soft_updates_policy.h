@@ -52,7 +52,7 @@ class SoftUpdatesPolicy final : public OrderingPolicy {
   void Attach(FileSystem* fs) override;
 
   Task<void> SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
-                             bool init_required) override;
+                             bool init_required, BlockRole role) override;
   Task<void> SetupBlockFree(Proc& proc, Inode& ip, std::vector<uint32_t> blocks,
                             std::vector<BufRef> updated_indirects) override;
   Task<void> SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_buf, uint32_t offset, Inode& target,

@@ -94,7 +94,7 @@ uint32_t FileSystem::NowSeconds() const {
 // mkfs / mount
 // ---------------------------------------------------------------------
 
-void FileSystem::Mkfs(DiskImage* image, uint32_t total_inodes) {
+void FileSystem::Mkfs(DiskImage* image, uint32_t total_inodes, uint32_t journal_blocks) {
   SuperBlock sb;
   sb.total_blocks = image->TotalBlocks();
   sb.total_inodes = total_inodes;
@@ -104,7 +104,9 @@ void FileSystem::Mkfs(DiskImage* image, uint32_t total_inodes) {
   sb.block_bitmap_blocks = (sb.total_blocks + kBitsPerBlock - 1) / kBitsPerBlock;
   sb.inode_table_start = sb.block_bitmap_start + sb.block_bitmap_blocks;
   sb.inode_table_blocks = (total_inodes + kInodesPerBlock - 1) / kInodesPerBlock;
-  sb.data_start = sb.inode_table_start + sb.inode_table_blocks;
+  sb.journal_start = sb.inode_table_start + sb.inode_table_blocks;
+  sb.journal_blocks = journal_blocks;
+  sb.data_start = sb.journal_start + sb.journal_blocks;
 
   BlockData blk;
   blk.fill(0);
@@ -259,6 +261,7 @@ Task<void> FileSystem::MarkInodeDirty(Proc& proc, Inode& ip) {
     // bytes are serialized lazily in PrepareWrite.
     cache_->MarkDirty(*ip.itable_buf);
   }
+  policy_->NoteInodeUpdate(proc, ip);
 }
 
 bool FileSystem::AnyDirtyInode() const {
@@ -304,7 +307,8 @@ Task<Result<uint32_t>> FileSystem::AllocBlock(Proc& proc, uint32_t hint) {
       BufRef bm = co_await cache_->Bread(sb_.block_bitmap_start + bm_index);
       uint32_t limit = std::min(hi, (bm_index + 1) * kBitsPerBlock);
       for (; blkno < limit; ++blkno) {
-        if (!BitmapGet(bm->data().data(), blkno % kBitsPerBlock)) {
+        if (!BitmapGet(bm->data().data(), blkno % kBitsPerBlock) &&
+            !policy_->BlockBusy(blkno)) {
           co_await cache_->BeginUpdate(*bm);
           BitmapSet(bm->data().data(), blkno % kBitsPerBlock, true);
           cache_->MarkDirty(*bm);
@@ -372,7 +376,8 @@ Task<void> FileSystem::FreeInodeInBitmap(Proc& proc, uint32_t ino) {
 // ---------------------------------------------------------------------
 
 Task<Result<BufRef>> FileSystem::AllocAttachedBlock(Proc& proc, Inode& ip, PtrLoc loc,
-                                                    bool init_required, uint32_t hint) {
+                                                    bool init_required, BlockRole role,
+                                                    uint32_t hint) {
   Result<uint32_t> blk = co_await AllocBlock(proc, hint);
   if (!blk.Ok()) {
     co_return blk.status();
@@ -396,7 +401,7 @@ Task<Result<BufRef>> FileSystem::AllocAttachedBlock(Proc& proc, Inode& ip, PtrLo
     case PtrLoc::Kind::kIndirectSlot:
       break;
   }
-  co_await policy_->SetupAllocation(proc, ip, data_buf, loc, init_required);
+  co_await policy_->SetupAllocation(proc, ip, data_buf, loc, init_required, role);
   co_return data_buf;
 }
 
@@ -413,6 +418,7 @@ Task<void> FileSystem::CommitBlockPointer(Proc& proc, Inode& ip, const PtrLoc& l
 
 Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn, bool alloc) {
   bool force_init = ip.d.IsDir() || config_.alloc_init;
+  BlockRole leaf_role = ip.d.IsDir() ? BlockRole::kDirectory : BlockRole::kFileData;
   // Direct blocks.
   if (lbn < kNumDirect) {
     uint32_t blk = ip.d.direct[lbn];
@@ -421,7 +427,7 @@ Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn,
     }
     PtrLoc loc{.kind = PtrLoc::Kind::kInodeDirect, .index = lbn};
     uint32_t hint = lbn > 0 ? ip.d.direct[lbn - 1] + 1 : 0;
-    Result<BufRef> buf = co_await AllocAttachedBlock(proc, ip, loc, force_init, hint);
+    Result<BufRef> buf = co_await AllocAttachedBlock(proc, ip, loc, force_init, leaf_role, hint);
     if (!buf.Ok()) {
       co_return buf.status();
     }
@@ -438,6 +444,7 @@ Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn,
       PtrLoc loc{.kind = PtrLoc::Kind::kInodeIndirect};
       // Indirect blocks are metadata: always initialization-ordered.
       Result<BufRef> buf = co_await AllocAttachedBlock(proc, ip, loc, /*init_required=*/true,
+                                                       BlockRole::kIndirect,
                                                        ip.d.direct[kNumDirect - 1] + 1);
       if (!buf.Ok()) {
         co_return buf.status();
@@ -451,7 +458,7 @@ Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn,
     }
     PtrLoc loc{.kind = PtrLoc::Kind::kIndirectSlot, .index = idx, .indirect_buf = ibuf};
     Result<BufRef> buf =
-        co_await AllocAttachedBlock(proc, ip, loc, force_init, ip.d.indirect + 1);
+        co_await AllocAttachedBlock(proc, ip, loc, force_init, leaf_role, ip.d.indirect + 1);
     if (!buf.Ok()) {
       co_return buf.status();
     }
@@ -468,8 +475,8 @@ Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn,
       co_return 0u;
     }
     PtrLoc loc{.kind = PtrLoc::Kind::kInodeDouble};
-    Result<BufRef> buf =
-        co_await AllocAttachedBlock(proc, ip, loc, /*init_required=*/true, ip.d.indirect + 1);
+    Result<BufRef> buf = co_await AllocAttachedBlock(proc, ip, loc, /*init_required=*/true,
+                                                     BlockRole::kIndirect, ip.d.indirect + 1);
     if (!buf.Ok()) {
       co_return buf.status();
     }
@@ -485,6 +492,7 @@ Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn,
     }
     PtrLoc loc{.kind = PtrLoc::Kind::kIndirectSlot, .index = l1, .indirect_buf = dbuf};
     Result<BufRef> buf = co_await AllocAttachedBlock(proc, ip, loc, /*init_required=*/true,
+                                                     BlockRole::kIndirect,
                                                      ip.d.double_indirect + 1);
     if (!buf.Ok()) {
       co_return buf.status();
@@ -498,7 +506,7 @@ Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn,
     co_return blk;
   }
   PtrLoc loc{.kind = PtrLoc::Kind::kIndirectSlot, .index = l2, .indirect_buf = mbuf};
-  Result<BufRef> buf = co_await AllocAttachedBlock(proc, ip, loc, force_init, mid + 1);
+  Result<BufRef> buf = co_await AllocAttachedBlock(proc, ip, loc, force_init, leaf_role, mid + 1);
   if (!buf.Ok()) {
     co_return buf.status();
   }

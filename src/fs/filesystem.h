@@ -103,8 +103,11 @@ class FileSystem {
   ~FileSystem();
 
   // Formats an image in place (offline; writes the superblock, bitmaps
-  // and a root directory directly into the DiskImage).
-  static void Mkfs(DiskImage* image, uint32_t total_inodes = 32768);
+  // and a root directory directly into the DiskImage). `journal_blocks`
+  // reserves a write-ahead log extent between the inode table and the
+  // data area (0 = no journal; layout identical to pre-journal images).
+  static void Mkfs(DiskImage* image, uint32_t total_inodes = 32768,
+                   uint32_t journal_blocks = 0);
 
   // Attaches the policy (required before Mount) and reads the superblock.
   void SetPolicy(OrderingPolicy* policy);
@@ -215,7 +218,7 @@ class FileSystem {
   Task<Result<uint32_t>> BlockMap(Proc& proc, Inode& ip, uint32_t lbn, bool alloc);
   // Allocates one block for `ip`, zero-filled, wiring SetupAllocation.
   Task<Result<BufRef>> AllocAttachedBlock(Proc& proc, Inode& ip, PtrLoc loc, bool init_required,
-                                          uint32_t hint);
+                                          BlockRole role, uint32_t hint);
   // Collects every block of `ip` beyond `new_size` and resets pointers.
   Task<FsStatus> TruncateLocked(Proc& proc, Inode& ip, uint64_t new_size);
 

@@ -81,6 +81,11 @@ struct SuperBlock {
   uint32_t block_bitmap_blocks = 0;
   uint32_t inode_table_start = 0;
   uint32_t inode_table_blocks = 0;
+  // Reserved write-ahead journal extent (zero blocks for non-journaling
+  // images). Lives between the inode table and the data area; fsck's
+  // RebuildBitmaps already treats everything below data_start as used.
+  uint32_t journal_start = 0;
+  uint32_t journal_blocks = 0;
   uint32_t data_start = 0;
 
   // Which inode-table block holds inode `ino`, and its offset inside.

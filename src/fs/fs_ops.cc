@@ -7,6 +7,20 @@
 
 namespace mufs {
 
+namespace {
+
+// Pairs OrderingPolicy::OpBegin with OpEnd on every exit path of a
+// mutating operation (ops have many early co_returns).
+struct OpGuard {
+  explicit OpGuard(OrderingPolicy* p) : policy(p) {}
+  OpGuard(const OpGuard&) = delete;
+  OpGuard& operator=(const OpGuard&) = delete;
+  ~OpGuard() { policy->OpEnd(); }
+  OrderingPolicy* policy;
+};
+
+}  // namespace
+
 // ---------------------------------------------------------------------
 // Paths
 // ---------------------------------------------------------------------
@@ -161,6 +175,8 @@ Task<Result<bool>> FileSystem::DirIsEmpty(Proc& proc, Inode& dir) {
 
 Task<Result<uint32_t>> FileSystem::Create(Proc& proc, const std::string& path) {
   ++proc.fs_calls;
+  co_await policy_->OpBegin(proc);
+  OpGuard op(policy_);
   co_await Charge(proc, config_.costs.syscall + config_.costs.create);
   Result<ParentLookup> pl = co_await LookupParent(proc, path);
   if (!pl.Ok()) {
@@ -206,6 +222,8 @@ Task<Result<uint32_t>> FileSystem::Create(Proc& proc, const std::string& path) {
 
 Task<FsStatus> FileSystem::Mkdir(Proc& proc, const std::string& path) {
   ++proc.fs_calls;
+  co_await policy_->OpBegin(proc);
+  OpGuard op(policy_);
   co_await Charge(proc, config_.costs.syscall + config_.costs.create);
   Result<ParentLookup> pl = co_await LookupParent(proc, path);
   if (!pl.Ok()) {
@@ -253,6 +271,8 @@ Task<FsStatus> FileSystem::Mkdir(Proc& proc, const std::string& path) {
 Task<FsStatus> FileSystem::Link(Proc& proc, const std::string& existing,
                                 const std::string& link_path) {
   ++proc.fs_calls;
+  co_await policy_->OpBegin(proc);
+  OpGuard op(policy_);
   co_await Charge(proc, config_.costs.syscall + config_.costs.create);
   Result<uint32_t> target = co_await Lookup(proc, existing);
   if (!target.Ok()) {
@@ -288,6 +308,8 @@ Task<FsStatus> FileSystem::Link(Proc& proc, const std::string& existing,
 
 Task<FsStatus> FileSystem::Unlink(Proc& proc, const std::string& path) {
   ++proc.fs_calls;
+  co_await policy_->OpBegin(proc);
+  OpGuard op(policy_);
   co_await Charge(proc, config_.costs.syscall + config_.costs.remove);
   Result<ParentLookup> pl = co_await LookupParent(proc, path);
   if (!pl.Ok()) {
@@ -321,6 +343,8 @@ Task<FsStatus> FileSystem::Unlink(Proc& proc, const std::string& path) {
 
 Task<FsStatus> FileSystem::Rmdir(Proc& proc, const std::string& path) {
   ++proc.fs_calls;
+  co_await policy_->OpBegin(proc);
+  OpGuard op(policy_);
   co_await Charge(proc, config_.costs.syscall + config_.costs.remove);
   Result<ParentLookup> pl = co_await LookupParent(proc, path);
   if (!pl.Ok()) {
@@ -368,6 +392,8 @@ Task<FsStatus> FileSystem::Rmdir(Proc& proc, const std::string& path) {
 
 Task<FsStatus> FileSystem::Rename(Proc& proc, const std::string& from, const std::string& to) {
   ++proc.fs_calls;
+  co_await policy_->OpBegin(proc);
+  OpGuard op(policy_);
   co_await Charge(proc, config_.costs.syscall + config_.costs.create);
   Result<ParentLookup> from_pl = co_await LookupParent(proc, from);
   if (!from_pl.Ok()) {
@@ -518,6 +544,8 @@ Task<Result<std::vector<DirEntryInfo>>> FileSystem::ReadDir(Proc& proc,
 Task<Result<uint64_t>> FileSystem::WriteFile(Proc& proc, uint32_t ino, uint64_t offset,
                                              std::span<const uint8_t> data) {
   ++proc.fs_calls;
+  co_await policy_->OpBegin(proc);
+  OpGuard op(policy_);
   stat_writes_->Inc();
   co_await Charge(proc, config_.costs.syscall +
                             config_.costs.per_kb_io *
@@ -602,6 +630,8 @@ Task<Result<uint64_t>> FileSystem::ReadFile(Proc& proc, uint32_t ino, uint64_t o
 
 Task<FsStatus> FileSystem::Truncate(Proc& proc, uint32_t ino, uint64_t new_size) {
   ++proc.fs_calls;
+  co_await policy_->OpBegin(proc);
+  OpGuard op(policy_);
   co_await Charge(proc, config_.costs.syscall);
   InodeRef ip = co_await Iget(proc, ino);
   LockGuard guard = co_await LockGuard::Acquire(&ip->lock);

@@ -41,6 +41,16 @@ namespace mufs {
 class FileSystem;
 struct Inode;
 
+// What a freshly allocated block will hold. Directory and indirect
+// blocks are metadata (their content is ordering-relevant); file data
+// blocks are not (only their zero-init matters, and only under
+// alloc-init).
+enum class BlockRole : uint8_t {
+  kFileData,
+  kDirectory,
+  kIndirect,
+};
+
 // Where a freshly set block pointer lives.
 struct PtrLoc {
   enum class Kind : uint8_t {
@@ -75,9 +85,10 @@ class OrderingPolicy {
   // (zero-filled; file data arrives later via delayed writes). The block
   // pointer has already been set in the in-core inode / indirect buffer
   // per `loc`. `init_required` reflects rule 3 for this block (directory
-  // or indirect block, or a data block under alloc-init).
+  // or indirect block, or a data block under alloc-init). `role` says
+  // what the block will hold (journaling logs metadata-block content).
   virtual Task<void> SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
-                                     bool init_required) = 0;
+                                     bool init_required, BlockRole role) = 0;
 
   // (2) Block de-allocation: `ip`'s pointers to `blocks` were just reset
   // in-core (freed indirect blocks are gathered into `blocks` too).
@@ -130,6 +141,34 @@ class OrderingPolicy {
     (void)blkno;
     (void)offset;
     return false;
+  }
+
+  // True if `blkno` must not be handed out by the allocator yet
+  // (journaling holds freed blocks until the freeing transaction is
+  // durable, the log-side analogue of chains' freed-resource tracking).
+  // Consulted by AllocBlock.
+  virtual bool BlockBusy(uint32_t blkno) const {
+    (void)blkno;
+    return false;
+  }
+
+  // Operation bracketing: mutating fs ops (create, unlink, rename, ...)
+  // call OpBegin on entry and OpEnd on every exit path. Journaling uses
+  // the bracket to commit transactions only at operation boundaries so
+  // every committed state is the image after N *complete* operations.
+  // Other schemes ignore it.
+  virtual Task<void> OpBegin(Proc& proc) {
+    (void)proc;
+    co_return;
+  }
+  virtual void OpEnd() {}
+
+  // Called after every in-core inode modification lands in the inode
+  // table buffer (MarkInodeDirty). Journaling captures the itable block
+  // image here; other schemes ignore it.
+  virtual void NoteInodeUpdate(Proc& proc, Inode& ip) {
+    (void)proc;
+    (void)ip;
   }
 
  protected:

@@ -34,6 +34,9 @@ CrashResult CrashHarness::RunAndCrash(const Workload& workload, uint64_t crash_a
   result.events_run = m.engine().EventsProcessed();
   result.crash_time = m.engine().Now();
   DiskImage snapshot = m.CrashNow();
+  if (config_.scheme == Scheme::kJournaling) {
+    result.replay = JournalRecovery(&snapshot).Run();
+  }
   FsckChecker checker(&snapshot, fsck_options);
   result.report = checker.Check();
   return result;
@@ -52,6 +55,9 @@ CrashResult CrashHarness::RunAndCrashAtWrite(const Workload& workload, uint64_t 
   result.events_run = m.engine().EventsProcessed();
   result.crash_time = m.engine().Now();
   DiskImage snapshot = m.CrashNow();
+  if (config_.scheme == Scheme::kJournaling) {
+    result.replay = JournalRecovery(&snapshot).Run();
+  }
   FsckChecker checker(&snapshot, fsck_options);
   result.report = checker.Check();
   return result;

@@ -13,6 +13,7 @@
 
 #include "src/core/machine.h"
 #include "src/fsck/fsck.h"
+#include "src/journal/journal_recovery.h"
 
 namespace mufs {
 
@@ -20,6 +21,10 @@ struct CrashResult {
   bool workload_finished = false;  // Workload completed before the crash.
   uint64_t events_run = 0;
   SimTime crash_time = 0;
+  // For journaling machines the harness replays the log into the crash
+  // image before fsck (that IS the scheme's recovery path); `replay`
+  // reports what the replay did. Zeros for every other scheme.
+  JournalReplayReport replay;
   FsckReport report;
 };
 

@@ -1,0 +1,78 @@
+// On-disk format of the mufs write-ahead metadata journal.
+//
+// The journal extent reserved by Mkfs (SuperBlock::journal_start /
+// journal_blocks) holds one journal superblock followed by a ring of log
+// blocks. A transaction is one or more descriptor runs (descriptor block
+// listing home block numbers, then the full payload images) closed by a
+// single commit record carrying a checksum over every payload. Recovery
+// scans the ring from the journal superblock's tail, replays transactions
+// whose commit record validates, and discards the torn tail.
+//
+// Sequence numbers strictly increase for the lifetime of an image (the
+// journal superblock persists the next expected sequence), so stale ring
+// content from an earlier pass can never masquerade as a live record.
+#ifndef MUFS_SRC_JOURNAL_JOURNAL_FORMAT_H_
+#define MUFS_SRC_JOURNAL_JOURNAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/disk/geometry.h"
+
+namespace mufs {
+
+constexpr uint32_t kJournalMagic = 0x4a4e4c31;  // "JNL1"
+
+enum class JournalRecordKind : uint32_t {
+  kDescriptor = 1,
+  kCommit = 2,
+};
+
+// Journal superblock, stored in the first block of the journal extent.
+// Rewritten at mount and at every checkpoint; start_* names the oldest
+// ring position recovery must scan from.
+struct JournalSuperBlock {
+  uint32_t magic = kJournalMagic;
+  uint32_t log_blocks = 0;  // Ring size (journal extent minus this block).
+  uint64_t start_seq = 0;   // Sequence of the oldest potentially-live txn.
+  uint32_t start_offset = 0;  // Ring offset of that txn's first descriptor.
+  uint32_t pad = 0;
+};
+
+// Common header of descriptor and commit blocks.
+struct JournalRecordHeader {
+  uint32_t magic = kJournalMagic;
+  uint32_t kind = 0;  // JournalRecordKind.
+  uint64_t seq = 0;
+  uint32_t count = 0;  // Descriptor: payloads in this run. Commit: total.
+  uint32_t pad = 0;
+};
+
+// A descriptor block is a JournalRecordHeader followed by `count` 32-bit
+// home block numbers, one per payload block that follows in the ring.
+constexpr uint32_t kJournalTagsPerDescriptor =
+    (kBlockSize - sizeof(JournalRecordHeader)) / sizeof(uint32_t);
+
+// Commit record: closes the transaction; checksum covers every payload
+// image of the transaction in ring order.
+struct JournalCommitRecord {
+  JournalRecordHeader h;
+  uint64_t checksum = 0;
+};
+
+// FNV-1a over payload bytes - cheap, deterministic, good enough to tell
+// a torn tail from a complete transaction in a simulator.
+inline uint64_t JournalChecksumSeed(uint64_t seq) {
+  return 1469598103934665603ull ^ seq;
+}
+inline uint64_t JournalChecksumUpdate(uint64_t h, const uint8_t* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_JOURNAL_JOURNAL_FORMAT_H_

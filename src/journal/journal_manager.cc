@@ -1,0 +1,271 @@
+#include "src/journal/journal_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "src/fs/filesystem.h"
+
+namespace mufs {
+
+JournalManager::JournalManager(Engine* engine, DiskDriver* driver, BufferCache* cache,
+                               DiskImage* image, StatsRegistry* stats, JournalConfig config)
+    : engine_(engine),
+      driver_(driver),
+      cache_(cache),
+      image_(image),
+      stats_(stats),
+      config_(config),
+      gate_cv_(engine),
+      commit_mutex_(engine) {
+  stat_captures_ = &stats_->counter("journal.captures");
+  stat_txns_ = &stats_->counter("journal.txns");
+  stat_blocks_logged_ = &stats_->counter("journal.blocks_logged");
+  stat_log_writes_ = &stats_->counter("journal.log_writes");
+  stat_checkpoints_ = &stats_->counter("journal.checkpoints");
+  stat_checkpoint_stalls_ = &stats_->counter("journal.checkpoint_stalls");
+  stat_forced_commits_ = &stats_->counter("journal.forced_commits");
+  stat_reuse_skips_ = &stats_->counter("journal.reuse_skips");
+}
+
+Task<void> JournalManager::Start() {
+  assert(fs_ != nullptr);
+  const SuperBlock& sb = fs_->sb();
+  assert(sb.journal_blocks >= 2);
+  jsb_blkno_ = sb.journal_start;
+  log_first_ = sb.journal_start + 1;
+  usable_ = sb.journal_blocks - 1;
+  soft_cap_ = std::max<size_t>(8, usable_ / 4);
+
+  // Adopt the persisted sequence horizon so records left in the ring by an
+  // earlier life of this image can never validate as live transactions.
+  BlockData raw;
+  image_->Read(jsb_blkno_, &raw);
+  JournalSuperBlock jsb;
+  std::memcpy(&jsb, raw.data(), sizeof(jsb));
+  if (jsb.magic == kJournalMagic && jsb.log_blocks == usable_ && jsb.start_seq >= 1) {
+    next_seq_ = jsb.start_seq;
+    head_ = jsb.start_offset % usable_;
+  } else {
+    next_seq_ = 1;
+    head_ = 0;
+  }
+  used_ = 0;
+  co_await WriteJsb(next_seq_, head_);
+
+  started_ = true;
+  running_ = true;
+  engine_->Spawn(Loop(), "journal-committer");
+}
+
+Task<void> JournalManager::OpBegin() {
+  while (commit_waiting_) {
+    co_await gate_cv_.Await();
+  }
+  ++ops_active_;
+}
+
+void JournalManager::OpEnd() {
+  --ops_active_;
+  assert(ops_active_ >= 0);
+  if (ops_active_ == 0 && commit_waiting_) {
+    gate_cv_.NotifyAll();
+  }
+}
+
+void JournalManager::Capture(const BufRef& buf) {
+  if (!started_) {
+    return;
+  }
+  const uint32_t blkno = buf->blkno();
+  // First capture of a block establishes its pre-journal on-disk content
+  // as the stable image every in-place write substitutes from then on.
+  if (!stable_.contains(blkno)) {
+    auto base = std::make_shared<BlockData>();
+    image_->Read(blkno, base.get());
+    stable_.emplace(blkno, std::move(base));
+  }
+  open_captures_[blkno] = std::make_shared<BlockData>(buf->data());
+  open_pins_[blkno] = buf;
+  stat_captures_->Inc();
+  if (open_captures_.size() >= soft_cap_ && !commit_requested_) {
+    commit_requested_ = true;
+    stat_forced_commits_->Inc();
+  }
+}
+
+void JournalManager::GateFreedBlocks(const std::vector<uint32_t>& blocks) {
+  if (!started_) {
+    return;
+  }
+  for (uint32_t b : blocks) {
+    if (open_freed_set_.insert(b).second) {
+      open_freed_.push_back(b);
+    }
+  }
+}
+
+bool JournalManager::BlockBusy(uint32_t blkno) const {
+  if (open_freed_set_.contains(blkno) || gated_freed_.contains(blkno)) {
+    stat_reuse_skips_->Inc();
+    return true;
+  }
+  return false;
+}
+
+std::shared_ptr<const BlockData> JournalManager::StableImage(uint32_t blkno) const {
+  auto it = stable_.find(blkno);
+  if (it == stable_.end()) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+Task<void> JournalManager::CommitNow() { co_await CommitOnce(); }
+
+Task<void> JournalManager::Loop() {
+  SimDuration quantum = config_.commit_interval / 8;
+  if (quantum < 1) {
+    quantum = 1;
+  }
+  while (running_) {
+    const SimTime deadline = engine_->Now() + config_.commit_interval;
+    while (running_ && !commit_requested_ && engine_->Now() < deadline) {
+      co_await engine_->Sleep(quantum);
+    }
+    if (!running_) {
+      break;
+    }
+    co_await CommitOnce();
+  }
+}
+
+Task<void> JournalManager::CommitOnce() {
+  LockGuard guard = co_await LockGuard::Acquire(&commit_mutex_);
+  if (open_captures_.empty()) {
+    commit_requested_ = false;
+    guard.Release();
+    co_return;
+  }
+
+  // Close the op gate: wait until no mutating operation is mid-flight so
+  // the transaction is a prefix of whole operations, then steal the open
+  // transaction and reopen the gate before doing any log I/O.
+  commit_waiting_ = true;
+  while (ops_active_ > 0) {
+    co_await gate_cv_.Await();
+  }
+  std::vector<std::pair<uint32_t, std::shared_ptr<BlockData>>> txn(open_captures_.begin(),
+                                                                   open_captures_.end());
+  std::sort(txn.begin(), txn.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  open_captures_.clear();
+  std::unordered_map<uint32_t, BufRef> pins = std::move(open_pins_);
+  open_pins_.clear();
+  std::vector<uint32_t> freed = std::move(open_freed_);
+  open_freed_.clear();
+  for (uint32_t b : freed) {
+    open_freed_set_.erase(b);
+    gated_freed_.insert(b);
+  }
+  const uint64_t seq = next_seq_++;
+  commit_waiting_ = false;
+  commit_requested_ = false;
+  gate_cv_.NotifyAll();
+
+  const uint32_t payloads = static_cast<uint32_t>(txn.size());
+  const uint32_t ndesc =
+      (payloads + kJournalTagsPerDescriptor - 1) / kJournalTagsPerDescriptor;
+  const uint32_t needed = payloads + ndesc + 1;
+  assert(needed <= usable_ && "journal log too small for one transaction");
+  if (needed > usable_ - used_) {
+    stat_checkpoint_stalls_->Inc();
+    co_await Checkpoint(seq);
+  }
+
+  // Descriptor runs + payload images, then (once all are durable) the
+  // checksummed commit record that makes the transaction real.
+  std::vector<uint64_t> ids;
+  uint64_t checksum = JournalChecksumSeed(seq);
+  size_t idx = 0;
+  while (idx < txn.size()) {
+    const uint32_t run = static_cast<uint32_t>(
+        std::min<size_t>(kJournalTagsPerDescriptor, txn.size() - idx));
+    auto desc = std::make_shared<BlockData>();
+    desc->fill(0);
+    JournalRecordHeader dh;
+    dh.kind = static_cast<uint32_t>(JournalRecordKind::kDescriptor);
+    dh.seq = seq;
+    dh.count = run;
+    std::memcpy(desc->data(), &dh, sizeof(dh));
+    auto* tags = reinterpret_cast<uint32_t*>(desc->data() + sizeof(dh));
+    for (uint32_t i = 0; i < run; ++i) {
+      tags[i] = txn[idx + i].first;
+    }
+    ids.push_back(driver_->IssueWrite(LogBlock(head_), {desc}));
+    head_ = (head_ + 1) % usable_;
+    for (uint32_t i = 0; i < run; ++i) {
+      const auto& img = txn[idx + i].second;
+      checksum = JournalChecksumUpdate(checksum, img->data(), kBlockSize);
+      ids.push_back(driver_->IssueWrite(LogBlock(head_), {img}));
+      head_ = (head_ + 1) % usable_;
+    }
+    idx += run;
+  }
+  for (uint64_t id : ids) {
+    co_await driver_->WaitFor(id);
+  }
+  auto cblk = std::make_shared<BlockData>();
+  cblk->fill(0);
+  JournalCommitRecord cr;
+  cr.h.kind = static_cast<uint32_t>(JournalRecordKind::kCommit);
+  cr.h.seq = seq;
+  cr.h.count = payloads;
+  cr.checksum = checksum;
+  std::memcpy(cblk->data(), &cr, sizeof(cr));
+  const uint64_t cid = driver_->IssueWrite(LogBlock(head_), {cblk});
+  head_ = (head_ + 1) % usable_;
+  co_await driver_->WaitFor(cid);
+  used_ += needed;
+  stat_txns_->Inc();
+  stat_blocks_logged_->Inc(payloads);
+  stat_log_writes_->Inc(needed);
+
+  // Durable: promote the captured images to stable and schedule the
+  // in-place writes (substituted from stable by PrepareWrite). The pins
+  // are still held here, so every block is guaranteed to be in cache.
+  for (auto& [blkno, img] : txn) {
+    stable_[blkno] = std::move(img);
+    cache_->MarkDirty(blkno);
+  }
+  for (uint32_t b : freed) {
+    gated_freed_.erase(b);
+  }
+  pins.clear();
+  guard.Release();
+}
+
+Task<void> JournalManager::Checkpoint(uint64_t upcoming_seq) {
+  stat_checkpoints_->Inc();
+  // Push every committed image to its home location (substituted writes),
+  // wait for the disk to quiesce, then declare the ring empty from here.
+  co_await cache_->SyncAll();
+  co_await driver_->Drain();
+  co_await WriteJsb(upcoming_seq, head_);
+  used_ = 0;
+}
+
+Task<void> JournalManager::WriteJsb(uint64_t start_seq, uint32_t start_offset) {
+  auto blk = std::make_shared<BlockData>();
+  blk->fill(0);
+  JournalSuperBlock jsb;
+  jsb.log_blocks = usable_;
+  jsb.start_seq = start_seq;
+  jsb.start_offset = start_offset;
+  std::memcpy(blk->data(), &jsb, sizeof(jsb));
+  const uint64_t id = driver_->IssueWrite(jsb_blkno_, {blk});
+  co_await driver_->WaitFor(id);
+}
+
+}  // namespace mufs

@@ -1,0 +1,115 @@
+#include "src/journal/journal_recovery.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/fs/format.h"
+
+namespace mufs {
+
+JournalReplayReport JournalRecovery::Run() {
+  JournalReplayReport report;
+  BlockData raw;
+  image_->Read(0, &raw);
+  SuperBlock sb;
+  std::memcpy(&sb, raw.data(), sizeof(sb));
+  if (sb.magic != kFsMagic || sb.journal_blocks < 2) {
+    return report;
+  }
+  report.journal_present = true;
+  const uint32_t jsb_blkno = sb.journal_start;
+  const uint32_t log_first = sb.journal_start + 1;
+  const uint32_t usable = sb.journal_blocks - 1;
+
+  image_->Read(jsb_blkno, &raw);
+  JournalSuperBlock jsb;
+  std::memcpy(&jsb, raw.data(), sizeof(jsb));
+
+  uint64_t expect_seq = 1;
+  uint32_t off = 0;
+  uint32_t scanned = 0;
+  if (jsb.magic == kJournalMagic && jsb.log_blocks == usable && jsb.start_seq >= 1) {
+    expect_seq = jsb.start_seq;
+    off = jsb.start_offset % usable;
+
+    // Walk whole transactions: descriptor runs carrying `expect_seq`,
+    // closed by a commit record whose count and checksum validate.
+    while (scanned < usable) {
+      std::vector<std::pair<uint32_t, BlockData>> txn;
+      uint64_t checksum = JournalChecksumSeed(expect_seq);
+      uint32_t pos = off;
+      uint32_t walked = scanned;
+      bool committed = false;
+      bool saw_record = false;
+      while (walked < usable) {
+        BlockData hb;
+        image_->Read(log_first + pos, &hb);
+        JournalRecordHeader h;
+        std::memcpy(&h, hb.data(), sizeof(h));
+        ++walked;
+        if (h.magic != kJournalMagic || h.seq != expect_seq) {
+          break;
+        }
+        saw_record = true;
+        if (h.kind == static_cast<uint32_t>(JournalRecordKind::kCommit)) {
+          JournalCommitRecord cr;
+          std::memcpy(&cr, hb.data(), sizeof(cr));
+          committed = cr.h.count == txn.size() && cr.checksum == checksum;
+          pos = (pos + 1) % usable;
+          break;
+        }
+        if (h.kind != static_cast<uint32_t>(JournalRecordKind::kDescriptor) || h.count == 0 ||
+            h.count > kJournalTagsPerDescriptor || walked + h.count > usable) {
+          break;
+        }
+        uint32_t tags[kJournalTagsPerDescriptor];
+        std::memcpy(tags, hb.data() + sizeof(h), h.count * sizeof(uint32_t));
+        pos = (pos + 1) % usable;
+        bool bad_tag = false;
+        for (uint32_t i = 0; i < h.count; ++i) {
+          if (tags[i] >= sb.total_blocks) {
+            bad_tag = true;
+            break;
+          }
+          BlockData pb;
+          image_->Read(log_first + pos, &pb);
+          checksum = JournalChecksumUpdate(checksum, pb.data(), kBlockSize);
+          txn.emplace_back(tags[i], pb);
+          pos = (pos + 1) % usable;
+          ++walked;
+        }
+        if (bad_tag) {
+          break;
+        }
+      }
+      report.log_blocks_scanned = walked;
+      if (!committed) {
+        report.torn_tail = saw_record;
+        break;
+      }
+      for (auto& [blkno, data] : txn) {
+        image_->Write(blkno, data, image_->LastWriteTime());
+      }
+      ++report.txns_replayed;
+      report.blocks_replayed += txn.size();
+      ++expect_seq;
+      off = pos;
+      scanned = walked;
+    }
+  }
+
+  // Re-stamp the horizon: the ring is now logically empty and the next
+  // transaction ever written must carry `expect_seq`, so stale records
+  // (including any torn tail just discarded) can never validate again.
+  JournalSuperBlock fresh;
+  fresh.log_blocks = usable;
+  fresh.start_seq = expect_seq;
+  fresh.start_offset = 0;
+  BlockData jb{};
+  std::memcpy(jb.data(), &fresh, sizeof(fresh));
+  image_->Write(jsb_blkno, jb, image_->LastWriteTime());
+  return report;
+}
+
+}  // namespace mufs

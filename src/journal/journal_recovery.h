@@ -1,0 +1,39 @@
+// Offline journal recovery: run against a raw DiskImage (a crash
+// snapshot or a remounted image) BEFORE the file system mounts. Scans
+// the log ring from the journal superblock's horizon, replays every
+// transaction whose commit record validates, discards the torn tail,
+// and re-stamps the journal superblock so the next mount starts with an
+// empty ring and a fresh sequence horizon.
+#ifndef MUFS_SRC_JOURNAL_JOURNAL_RECOVERY_H_
+#define MUFS_SRC_JOURNAL_JOURNAL_RECOVERY_H_
+
+#include <cstdint>
+
+#include "src/disk/disk_image.h"
+#include "src/journal/journal_format.h"
+
+namespace mufs {
+
+struct JournalReplayReport {
+  bool journal_present = false;  // Image has a journal extent.
+  uint64_t txns_replayed = 0;
+  uint64_t blocks_replayed = 0;     // Home-location block writes applied.
+  uint64_t log_blocks_scanned = 0;  // Ring blocks examined.
+  bool torn_tail = false;           // Scan ended at an incomplete txn.
+};
+
+class JournalRecovery {
+ public:
+  explicit JournalRecovery(DiskImage* image) : image_(image) {}
+
+  // Replays committed transactions into the image. Idempotent: a second
+  // run finds an empty ring and replays nothing.
+  JournalReplayReport Run();
+
+ private:
+  DiskImage* image_;
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_JOURNAL_JOURNAL_RECOVERY_H_

@@ -109,7 +109,11 @@ INSTANTIATE_TEST_SUITE_P(
         SchemeCase{Scheme::kSchedulerFlag, true, true, "SchedulerFlag+AllocInit"},
         SchemeCase{Scheme::kSchedulerChains, false, false, "SchedulerChains"},
         SchemeCase{Scheme::kSchedulerChains, true, true, "SchedulerChains+AllocInit"},
-        SchemeCase{Scheme::kSoftUpdates, true, true, "SoftUpdates"}),
+        SchemeCase{Scheme::kSoftUpdates, true, true, "SoftUpdates"},
+        // Journaling images are fsck'd AFTER log replay (the harness
+        // replays before checking); the raw image makes no guarantees.
+        SchemeCase{Scheme::kJournaling, false, false, "Journaling"},
+        SchemeCase{Scheme::kJournaling, true, true, "Journaling+AllocInit"}),
     [](const ::testing::TestParamInfo<SchemeCase>& info) {
       std::string n = info.param.name;
       for (char& ch : n) {
@@ -340,6 +344,26 @@ uint64_t MeasureSyncedEventCount(const MachineConfig& cfg) {
   return m.engine().EventsProcessed();
 }
 
+// Same calibration in device-write units (for harnesses that sweep write
+// boundaries rather than event counts).
+uint64_t MeasureSyncedWriteCount(const MachineConfig& cfg) {
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool synced = false;
+  auto root = [](Machine* m, Proc* p, bool* synced) -> Task<void> {
+    co_await m->Boot(*p);
+    Result<uint32_t> ino = co_await m->fs().Create(*p, "/victim");
+    if (ino.Ok()) {
+      (void)co_await WriteTagged(*m, *p, ino.value(), 2 * kBlockSize);
+    }
+    co_await m->fs().SyncEverything(*p);
+    *synced = true;
+  };
+  m.engine().Spawn(root(&m, &p, &synced), "measure");
+  m.engine().RunUntil([&] { return synced; });
+  return m.image().WriteCount();
+}
+
 }  // namespace
 
 class RenameRuleOneTest : public ::testing::TestWithParam<Scheme> {};
@@ -381,13 +405,70 @@ INSTANTIATE_TEST_SUITE_P(SafeSchemes, RenameRuleOneTest,
                          ::testing::Values(Scheme::kConventional, Scheme::kSchedulerFlag,
                                            Scheme::kSchedulerChains, Scheme::kSoftUpdates),
                          [](const ::testing::TestParamInfo<Scheme>& info) {
-                           return std::string(ToString(info.param)).find(' ') == std::string::npos
-                                      ? std::string(ToString(info.param))
-                                      : [&] {
-                                          std::string s(ToString(info.param));
-                                          std::erase(s, ' ');
-                                          return s;
-                                        }();
+                           return std::string(SchemeName(info.param));
+                         });
+
+// Rename crash sweep across ALL SIX schemes, each checked against its own
+// recovery model: the four ordered schemes must be fsck-clean raw;
+// No Order may corrupt but must be repairable; journaling must recover by
+// LOG REPLAY ALONE - zero fsck repairs at every crash point - and at
+// least one of the two names must survive on the replayed image.
+class RenameAllSchemesSweepTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(RenameAllSchemesSweepTest, EveryCrashPointRecovers) {
+  const Scheme scheme = GetParam();
+  MachineConfig cfg = ConfigFor(scheme, false);
+  cfg.syncer.sweep_seconds = 2;
+  CrashHarness harness(cfg);
+  uint64_t total_writes = harness.MeasureWrites(RenameWorkload);
+  ASSERT_GT(total_writes, 0u);
+  // Rule 1 (some name survives) only binds once the pre-rename sync has
+  // made "/victim" durable; before that, neither name existing is fine.
+  const uint64_t synced_writes =
+      scheme == Scheme::kJournaling ? MeasureSyncedWriteCount(cfg) : 0;
+  FsckOptions fsck;
+  for (uint64_t w = 1; w <= total_writes; ++w) {
+    DiskImage img = harness.CrashImageAtWrite(RenameWorkload, w);
+    if (scheme == Scheme::kJournaling) {
+      JournalReplayReport replay = JournalRecovery(&img).Run();
+      EXPECT_TRUE(replay.journal_present);
+      FsckReport check = FsckChecker(&img, fsck).Check();
+      for (const auto& v : check.violations) {
+        ADD_FAILURE() << "crash@write " << w << "/" << total_writes << ": " << ToString(v.type)
+                      << ": " << v.detail;
+      }
+      FsckRepairReport repair = FsckRepairer(&img, fsck).Repair();
+      EXPECT_TRUE(repair.clean_after) << "crash@write " << w;
+      EXPECT_EQ(repair.TotalFixes(), 0u)
+          << "crash@write " << w << "/" << total_writes << ": replay (of "
+          << replay.txns_replayed << " txns) left work for fsck";
+      if (w >= synced_writes) {
+        EXPECT_TRUE(ImageHasRootEntry(img, "victim") || ImageHasRootEntry(img, "renamed"))
+            << "crash@write " << w << ": both names lost after replay (rule 1)";
+      }
+    } else if (scheme == Scheme::kNoOrder) {
+      // No integrity guarantee; the operational model is a repairing fsck.
+      FsckRepairReport repair = FsckRepairer(&img, fsck).Repair();
+      EXPECT_TRUE(repair.clean_after) << "crash@write " << w << " not repairable";
+    } else {
+      FsckReport report = FsckChecker(&img, fsck).Check();
+      for (const auto& v : report.violations) {
+        ADD_FAILURE() << "crash@write " << w << "/" << total_writes << ": " << ToString(v.type)
+                      << ": " << v.detail;
+      }
+    }
+    if (HasFailure()) {
+      break;  // One broken crash point is enough output.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RenameAllSchemesSweepTest,
+                         ::testing::Values(Scheme::kNoOrder, Scheme::kConventional,
+                                           Scheme::kSchedulerFlag, Scheme::kSchedulerChains,
+                                           Scheme::kSoftUpdates, Scheme::kJournaling),
+                         [](const ::testing::TestParamInfo<Scheme>& info) {
+                           return std::string(SchemeName(info.param));
                          });
 
 }  // namespace

@@ -1,0 +1,335 @@
+// Unit and property tests for the write-ahead metadata journal: on-disk
+// record format round trips, torn-tail discard, checkpoint behaviour on
+// tiny logs, end-to-end crash replay, and determinism of the stats dump.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/core/machine.h"
+#include "src/fsck/fsck.h"
+#include "src/journal/journal_format.h"
+#include "src/journal/journal_recovery.h"
+#include "src/workload/workloads.h"
+
+namespace mufs {
+namespace {
+
+SuperBlock ReadSuper(const DiskImage& image) {
+  BlockData raw;
+  image.Read(0, &raw);
+  SuperBlock sb;
+  std::memcpy(&sb, raw.data(), sizeof(sb));
+  return sb;
+}
+
+// A non-journaling image has no log to recover.
+TEST(JournalRecoveryTest, AbsentOnNonJournalImage) {
+  DiskImage img(4096);
+  FileSystem::Mkfs(&img, /*total_inodes=*/512, /*journal_blocks=*/0);
+  JournalReplayReport report = JournalRecovery(&img).Run();
+  EXPECT_FALSE(report.journal_present);
+  EXPECT_EQ(report.txns_replayed, 0u);
+}
+
+// Hand-craft a log holding one committed transaction followed by a torn
+// (descriptor-only) one: recovery must replay exactly the committed txn,
+// discard the tail, and restamp the horizon so a second run is a no-op.
+TEST(JournalRecoveryTest, ReplaysCommittedAndDiscardsTornTail) {
+  DiskImage img(4096);
+  FileSystem::Mkfs(&img, /*total_inodes=*/512, /*journal_blocks=*/64);
+  const SuperBlock sb = ReadSuper(img);
+  ASSERT_EQ(sb.journal_blocks, 64u);
+  const uint32_t log_first = sb.journal_start + 1;
+  const uint32_t usable = sb.journal_blocks - 1;
+  const uint32_t victim = sb.data_start;
+  const uint32_t untouched = sb.data_start + 1;
+
+  JournalSuperBlock jsb;
+  jsb.log_blocks = usable;
+  jsb.start_seq = 1;
+  jsb.start_offset = 0;
+  BlockData blk{};
+  std::memcpy(blk.data(), &jsb, sizeof(jsb));
+  img.Write(sb.journal_start, blk, img.LastWriteTime());
+
+  // Committed txn, seq 1: descriptor + payload + commit.
+  BlockData payload{};
+  payload.fill(0xAB);
+  JournalRecordHeader desc;
+  desc.kind = static_cast<uint32_t>(JournalRecordKind::kDescriptor);
+  desc.seq = 1;
+  desc.count = 1;
+  blk.fill(0);
+  std::memcpy(blk.data(), &desc, sizeof(desc));
+  std::memcpy(blk.data() + sizeof(desc), &victim, sizeof(victim));
+  img.Write(log_first + 0, blk, img.LastWriteTime());
+  img.Write(log_first + 1, payload, img.LastWriteTime());
+  JournalCommitRecord commit;
+  commit.h.kind = static_cast<uint32_t>(JournalRecordKind::kCommit);
+  commit.h.seq = 1;
+  commit.h.count = 1;
+  commit.checksum =
+      JournalChecksumUpdate(JournalChecksumSeed(1), payload.data(), kBlockSize);
+  blk.fill(0);
+  std::memcpy(blk.data(), &commit, sizeof(commit));
+  img.Write(log_first + 2, blk, img.LastWriteTime());
+
+  // Torn txn, seq 2: descriptor + payload, crash before the commit record.
+  desc.seq = 2;
+  blk.fill(0);
+  std::memcpy(blk.data(), &desc, sizeof(desc));
+  std::memcpy(blk.data() + sizeof(desc), &untouched, sizeof(untouched));
+  img.Write(log_first + 3, blk, img.LastWriteTime());
+  BlockData torn_payload{};
+  torn_payload.fill(0xCD);
+  img.Write(log_first + 4, torn_payload, img.LastWriteTime());
+
+  JournalReplayReport report = JournalRecovery(&img).Run();
+  EXPECT_TRUE(report.journal_present);
+  EXPECT_EQ(report.txns_replayed, 1u);
+  EXPECT_EQ(report.blocks_replayed, 1u);
+  EXPECT_TRUE(report.torn_tail);
+
+  BlockData got;
+  img.Read(victim, &got);
+  EXPECT_EQ(got, payload) << "committed payload not applied to its home block";
+  img.Read(untouched, &got);
+  EXPECT_NE(got, torn_payload) << "torn transaction must not be applied";
+
+  // Idempotence: the horizon was restamped past the discarded tail, so a
+  // second recovery pass finds a logically empty ring.
+  JournalReplayReport again = JournalRecovery(&img).Run();
+  EXPECT_TRUE(again.journal_present);
+  EXPECT_EQ(again.txns_replayed, 0u);
+  EXPECT_FALSE(again.torn_tail);
+
+  BlockData jraw;
+  img.Read(sb.journal_start, &jraw);
+  JournalSuperBlock stamped;
+  std::memcpy(&stamped, jraw.data(), sizeof(stamped));
+  EXPECT_EQ(stamped.start_seq, 2u) << "horizon must advance past replayed txns";
+  EXPECT_EQ(stamped.start_offset, 0u);
+}
+
+// A bad checksum (payload corrupted after the commit record landed - or a
+// commit record from a stale pass) must not replay.
+TEST(JournalRecoveryTest, ChecksumMismatchDiscardsTransaction) {
+  DiskImage img(4096);
+  FileSystem::Mkfs(&img, /*total_inodes=*/512, /*journal_blocks=*/64);
+  const SuperBlock sb = ReadSuper(img);
+  const uint32_t log_first = sb.journal_start + 1;
+
+  JournalSuperBlock jsb;
+  jsb.log_blocks = sb.journal_blocks - 1;
+  jsb.start_seq = 1;
+  jsb.start_offset = 0;
+  BlockData blk{};
+  std::memcpy(blk.data(), &jsb, sizeof(jsb));
+  img.Write(sb.journal_start, blk, img.LastWriteTime());
+
+  BlockData payload{};
+  payload.fill(0x5A);
+  JournalRecordHeader desc;
+  desc.kind = static_cast<uint32_t>(JournalRecordKind::kDescriptor);
+  desc.seq = 1;
+  desc.count = 1;
+  const uint32_t victim = sb.data_start;
+  blk.fill(0);
+  std::memcpy(blk.data(), &desc, sizeof(desc));
+  std::memcpy(blk.data() + sizeof(desc), &victim, sizeof(victim));
+  img.Write(log_first + 0, blk, img.LastWriteTime());
+  img.Write(log_first + 1, payload, img.LastWriteTime());
+  JournalCommitRecord commit;
+  commit.h.kind = static_cast<uint32_t>(JournalRecordKind::kCommit);
+  commit.h.seq = 1;
+  commit.h.count = 1;
+  commit.checksum = 0xdeadbeef;  // Wrong on purpose.
+  blk.fill(0);
+  std::memcpy(blk.data(), &commit, sizeof(commit));
+  img.Write(log_first + 2, blk, img.LastWriteTime());
+
+  JournalReplayReport report = JournalRecovery(&img).Run();
+  EXPECT_EQ(report.txns_replayed, 0u);
+  EXPECT_TRUE(report.torn_tail);
+  BlockData got;
+  img.Read(victim, &got);
+  EXPECT_NE(got, payload);
+}
+
+MachineConfig JournalConfigFor(uint32_t log_blocks, SimDuration interval) {
+  MachineConfig cfg;
+  cfg.scheme = Scheme::kJournaling;
+  cfg.journal_log_blocks = log_blocks;
+  cfg.journal_commit_interval = interval;
+  cfg.syncer.sweep_seconds = 3;
+  return cfg;
+}
+
+// Sleeps between phases span several group-commit intervals, so the
+// committer daemon (not just an explicit flush) commits the updates.
+Task<void> JournalChurn(Machine& m, Proc& p) {
+  (void)co_await m.fs().Mkdir(p, "/a");
+  (void)co_await CreateFiles(m, p, "/a", 20, 2 * kBlockSize);
+  co_await m.engine().Sleep(Sec(2));
+  for (int i = 0; i < 20; i += 2) {
+    (void)co_await m.fs().Unlink(p, "/a/c" + std::to_string(i));
+  }
+  co_await m.engine().Sleep(Sec(2));
+  (void)co_await m.fs().Rename(p, "/a/c1", "/a/renamed1");
+  (void)co_await CreateRemoveFiles(m, p, "/a", 8, kBlockSize);
+  co_await m.engine().Sleep(Sec(2));
+}
+
+// Runs the churn workload to completion WITHOUT a clean shutdown and
+// returns the crash snapshot (dirty cache contents lost, log intact).
+DiskImage RunAndSnapshot(const MachineConfig& cfg) {
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  auto root = [](Machine* mm, Proc* pp, bool* flag) -> Task<void> {
+    co_await mm->Boot(*pp);
+    co_await JournalChurn(*mm, *pp);
+    *flag = true;
+  };
+  m.engine().Spawn(root(&m, &p, &done), "u");
+  m.engine().RunUntil([&] { return done; });
+  return m.CrashNow();
+}
+
+// End-to-end: crash after the workload (no shutdown), replay the log,
+// and the image must be consistent with ZERO fsck repairs - replay alone
+// is the whole recovery story for journaling.
+TEST(JournalEndToEndTest, CrashReplayYieldsCleanImageWithZeroRepairs) {
+  DiskImage img = RunAndSnapshot(JournalConfigFor(1024, Msec(250)));
+  JournalReplayReport report = JournalRecovery(&img).Run();
+  EXPECT_TRUE(report.journal_present);
+  EXPECT_GT(report.txns_replayed, 0u)
+      << "workload should leave committed-but-uncheckpointed txns behind";
+  FsckOptions fsck;
+  FsckReport check = FsckChecker(&img, fsck).Check();
+  for (const auto& v : check.violations) {
+    ADD_FAILURE() << ToString(v.type) << ": " << v.detail;
+  }
+  FsckRepairReport repair = FsckRepairer(&img, fsck).Repair();
+  EXPECT_TRUE(repair.clean_after);
+  EXPECT_EQ(repair.TotalFixes(), 0u) << "replay must leave nothing for fsck to fix";
+}
+
+// Enough distinct-block churn, spread over enough commit intervals, to
+// wrap a 32-block ring several times over.
+Task<void> HeavyChurn(Machine& m, Proc& p) {
+  for (int d = 0; d < 4; ++d) {
+    std::string dir = "/d" + std::to_string(d);
+    (void)co_await m.fs().Mkdir(p, dir);
+    (void)co_await CreateFiles(m, p, dir, 12, kBlockSize);
+    co_await m.engine().Sleep(Msec(400));
+    for (int i = 0; i < 12; ++i) {
+      (void)co_await m.fs().Unlink(p, dir + "/c" + std::to_string(i));
+    }
+    co_await m.engine().Sleep(Msec(400));
+  }
+}
+
+// A tiny log forces checkpoints (and usually commit stalls) but must stay
+// correct: same zero-repair guarantee as the comfortable configuration.
+TEST(JournalEndToEndTest, TinyLogCheckpointsAndStaysConsistent) {
+  MachineConfig cfg = JournalConfigFor(/*log_blocks=*/32, Msec(100));
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  auto root = [](Machine* mm, Proc* pp, bool* flag) -> Task<void> {
+    co_await mm->Boot(*pp);
+    co_await HeavyChurn(*mm, *pp);
+    *flag = true;
+  };
+  m.engine().Spawn(root(&m, &p, &done), "u");
+  m.engine().RunUntil([&] { return done; });
+  EXPECT_GT(m.stats().counter("journal.checkpoints").value(), 0u)
+      << "32-block log should wrap during this workload";
+  EXPECT_GT(m.stats().counter("journal.txns").value(), 0u);
+
+  DiskImage img = m.CrashNow();
+  (void)JournalRecovery(&img).Run();
+  FsckOptions fsck;
+  FsckRepairReport repair = FsckRepairer(&img, fsck).Repair();
+  EXPECT_TRUE(repair.clean_after);
+  EXPECT_EQ(repair.TotalFixes(), 0u);
+}
+
+// Longer group-commit intervals batch more operations per transaction.
+TEST(JournalEndToEndTest, GroupCommitBatchesUpdates) {
+  Machine fast(JournalConfigFor(1024, Msec(50)));
+  Machine slow(JournalConfigFor(1024, Sec(4)));
+  for (Machine* m : {&fast, &slow}) {
+    Proc p = m->MakeProc("u");
+    bool done = false;
+    auto root = [](Machine* mm, Proc* pp, bool* flag) -> Task<void> {
+      co_await mm->Boot(*pp);
+      co_await JournalChurn(*mm, *pp);
+      co_await mm->Shutdown(*pp);
+      *flag = true;
+    };
+    m->engine().Spawn(root(m, &p, &done), "u");
+    m->engine().RunUntil([&] { return done; });
+  }
+  uint64_t fast_txns = fast.stats().counter("journal.txns").value();
+  uint64_t slow_txns = slow.stats().counter("journal.txns").value();
+  ASSERT_GT(fast_txns, 0u);
+  ASSERT_GT(slow_txns, 0u);
+  EXPECT_LT(slow_txns, fast_txns)
+      << "a 4s interval must commit fewer, larger transactions than 50ms";
+}
+
+// Boot-time recovery is wired into Machine::Boot: a machine whose image
+// carries committed txns replays them and reports the length via stats.
+TEST(JournalEndToEndTest, BootReplaysAndCountsTransactions) {
+  // First life: crash with committed-but-uncheckpointed txns in the ring.
+  MachineConfig cfg = JournalConfigFor(1024, Msec(250));
+  DiskImage img = RunAndSnapshot(cfg);
+  // Second life: boot a machine on the crashed image.
+  MachineConfig cfg2 = cfg;
+  cfg2.format = false;
+  Machine m(cfg2);
+  m.LoadImage(img);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  auto root = [](Machine* mm, Proc* pp, bool* flag) -> Task<void> {
+    co_await mm->Boot(*pp);
+    Result<uint32_t> ino = co_await mm->fs().Create(*pp, "/after-recovery");
+    EXPECT_TRUE(ino.Ok());
+    co_await mm->Shutdown(*pp);
+    *flag = true;
+  };
+  m.engine().Spawn(root(&m, &p, &done), "u");
+  m.engine().RunUntil([&] { return done; });
+  EXPECT_TRUE(m.last_replay().journal_present);
+  EXPECT_GT(m.last_replay().txns_replayed, 0u);
+  EXPECT_EQ(m.stats().counter("journal.replay_txns").value(),
+            m.last_replay().txns_replayed);
+}
+
+// Same seed, same config => byte-identical stats dumps. The journal's
+// group commit and checkpointing must not introduce nondeterminism.
+TEST(JournalDeterminismTest, SameSeedStatsDumpsAreByteIdentical) {
+  std::string dumps[2];
+  for (std::string& out : dumps) {
+    MachineConfig cfg = JournalConfigFor(256, Msec(500));
+    Machine m(cfg);
+    Proc p = m.MakeProc("u");
+    bool done = false;
+    auto root = [](Machine* mm, Proc* pp, bool* flag) -> Task<void> {
+      co_await mm->Boot(*pp);
+      co_await JournalChurn(*mm, *pp);
+      co_await mm->Shutdown(*pp);
+      *flag = true;
+    };
+    m.engine().Spawn(root(&m, &p, &done), "u");
+    m.engine().RunUntil([&] { return done; });
+    out = m.DumpStatsJson();
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+}  // namespace
+}  // namespace mufs
