@@ -18,10 +18,14 @@
 namespace mufs {
 
 // CLI overrides shared by every bench binary: --users=N scales the
-// multi-user workloads, --stats-out=PATH redirects the JSONL sidecar.
+// multi-user workloads, --stats-out=PATH redirects the JSONL sidecar,
+// --fault-rate=P / --fault-seed=S enable disk fault injection (uniform
+// profile derived from one probability; see FaultConfig::Uniform).
 struct BenchArgs {
   int users = 0;
   std::string stats_out;
+  double fault_rate = 0;
+  uint64_t fault_seed = 1;
 };
 
 // Parses the shared flags, REMOVING recognized arguments from argv so a
@@ -43,12 +47,24 @@ inline BenchArgs ParseBenchArgs(int* argc, char** argv, int default_users = 0) {
       }
     } else if (a.rfind("--stats-out=", 0) == 0) {
       args.stats_out = argv[i] + 12;
+    } else if (a.rfind("--fault-rate=", 0) == 0) {
+      args.fault_rate = std::atof(argv[i] + 13);
+    } else if (a.rfind("--fault-seed=", 0) == 0) {
+      args.fault_seed = std::strtoull(argv[i] + 13, nullptr, 10);
     } else {
       argv[kept++] = argv[i];
     }
   }
   *argc = kept;
   return args;
+}
+
+// Applies --fault-rate/--fault-seed to a machine config (no-op when the
+// rate is zero, keeping the zero-fault stats byte-identical).
+inline void ApplyFaultArgs(MachineConfig* cfg, const BenchArgs& args) {
+  if (args.fault_rate > 0) {
+    cfg->fault = FaultConfig::Uniform(args.fault_rate, args.fault_seed);
+  }
 }
 
 inline MachineConfig BenchConfig(Scheme scheme, bool alloc_init = false) {

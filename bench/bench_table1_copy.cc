@@ -56,7 +56,9 @@ int Main(const BenchArgs& args) {
   StatsSidecar sidecar("bench_table1_copy", args.stats_out);
   std::vector<std::pair<Row, RunMeasurement>> results;
   for (const Row& row : rows) {
-    RunMeasurement meas = RunCopyBenchmark(BenchConfig(row.scheme, row.alloc_init), users, tree);
+    MachineConfig cfg = BenchConfig(row.scheme, row.alloc_init);
+    ApplyFaultArgs(&cfg, args);
+    RunMeasurement meas = RunCopyBenchmark(cfg, users, tree);
     if (row.scheme == Scheme::kNoOrder) {
       no_order_elapsed = meas.ElapsedAvgSeconds();
     }

@@ -33,7 +33,9 @@ int Main(const BenchArgs& args) {
   StatsSidecar sidecar("bench_table2_remove", args.stats_out);
   std::vector<std::pair<Scheme, RunMeasurement>> results;
   for (Scheme s : AllSchemes()) {
-    RunMeasurement meas = RunRemoveBenchmark(BenchConfig(s), users, tree);
+    MachineConfig cfg = BenchConfig(s);
+    ApplyFaultArgs(&cfg, args);
+    RunMeasurement meas = RunRemoveBenchmark(cfg, users, tree);
     if (s == Scheme::kNoOrder) {
       no_order_elapsed = meas.ElapsedAvgSeconds();
     }

@@ -29,6 +29,8 @@ BufferCache::BufferCache(Engine* engine, DiskDriver* driver, CacheConfig config)
   stat_block_copies_ = &stats_->counter("cache.block_copies");
   stat_copy_budget_waits_ = &stats_->counter("cache.copy_budget_waits");
   stat_evictions_ = &stats_->counter("cache.evictions");
+  stat_read_failures_ = &stats_->counter("cache.read_failures");
+  stat_write_failures_ = &stats_->counter("cache.write_failures");
   stat_dirty_ = &stats_->gauge("cache.dirty_blocks");
   stat_copies_out_ = &stats_->gauge("cache.outstanding_copies");
 }
@@ -44,6 +46,8 @@ CacheStats BufferCache::stats() const {
   s.block_copies = stat_block_copies_->value();
   s.copy_budget_waits = stat_copy_budget_waits_->value();
   s.evictions = stat_evictions_->value();
+  s.read_failures = stat_read_failures_->value();
+  s.write_failures = stat_write_failures_->value();
   return s;
 }
 
@@ -67,6 +71,10 @@ Task<BufRef> BufferCache::GetBuf(uint32_t blkno, bool read_fill) {
     // Wait out an in-progress fill by another process.
     while (!buf->valid_) {
       co_await buf->io_cv_.Await();
+      if (buf->read_failed_) {
+        // The filler's read failed and dropped the placeholder.
+        co_return nullptr;
+      }
     }
     hooks_->BufferAccessed(*buf);
     co_return buf;
@@ -85,7 +93,23 @@ Task<BufRef> BufferCache::GetBuf(uint32_t blkno, bool read_fill) {
   co_await EnsureCapacity();
   if (read_fill) {
     uint64_t id = driver_->IssueRead(blkno, buf->data_.get());
-    co_await driver_->WaitFor(id);
+    IoStatus rs = co_await driver_->WaitFor(id);
+    if (rs != IoStatus::kOk) {
+      stat_read_failures_->Inc();
+      if (stats_->tracing()) {
+        stats_->Trace("cache.read_failed", {{"blkno", blkno}});
+      }
+      // Drop the placeholder so a later Bread retries from scratch, and
+      // wake concurrent waiters (they see read_failed_ and bail out).
+      buf->read_failed_ = true;
+      buf->io_cv_.NotifyAll();
+      auto bit = buffers_.find(blkno);
+      if (bit != buffers_.end() && bit->second == buf) {
+        lru_.erase(buf->lru_tick_);
+        buffers_.erase(bit);
+      }
+      co_return nullptr;
+    }
   } else {
     buf->data_->fill(0);
   }
@@ -132,7 +156,7 @@ Task<void> BufferCache::EnsureCapacity() {
     // asynchronously (overlapping their service) and retry once one of
     // them completes and becomes clean.
     for (Buf* b : dirty_cold) {
-      if (b->dirty_ && !b->io_locked_ && b->writes_in_flight_ == 0) {
+      if (b->dirty_ && !b->write_failed_ && !b->io_locked_ && b->writes_in_flight_ == 0) {
         IssueWrite(buffers_.at(b->blkno_), OrderingTag{}, /*from_syncer=*/false);
       }
     }
@@ -213,33 +237,53 @@ uint64_t BufferCache::IssueWrite(BufRef buf, OrderingTag tag, bool from_syncer) 
     buf->io_locked_ = true;
   }
 
-  // Keep the buffer alive until the interrupt handler runs.
-  uint64_t id = driver_->IssueWrite(buf->blkno_, {std::move(io_src)}, std::move(tag),
-                                    [this, buf, made_copy] {
-                                      buf->io_locked_ = false;
-                                      buf->writes_in_flight_--;
-                                      if (made_copy) {
-                                        --outstanding_copies_;
-                                        stat_copies_out_->Set(
-                                            static_cast<int64_t>(outstanding_copies_));
-                                        capacity_cv_.NotifyAll();
-                                      }
-                                      hooks_->WriteDone(*buf);
-                                      buf->rolled_back_ = false;
-                                      buf->io_cv_.NotifyAll();
-                                    });
+  // Keep the buffer alive until the interrupt handler runs. The handler
+  // must check the status: completion does not imply the bytes reached
+  // the disk.
+  uint64_t id = driver_->IssueWrite(
+      buf->blkno_, {std::move(io_src)}, std::move(tag), [this, buf, made_copy](IoStatus status) {
+        buf->io_locked_ = false;
+        buf->writes_in_flight_--;
+        if (made_copy) {
+          --outstanding_copies_;
+          stat_copies_out_->Set(static_cast<int64_t>(outstanding_copies_));
+          capacity_cv_.NotifyAll();
+        }
+        if (status == IoStatus::kOk) {
+          buf->write_failed_ = false;
+          hooks_->WriteDone(*buf);
+        } else {
+          // Nothing reached the disk: keep the bytes dirty, but flag the
+          // buffer so flush paths skip it (a permanently bad sector must
+          // not livelock SyncAll / the syncer). Dependency state is
+          // restored without retiring anything.
+          stat_write_failures_->Inc();
+          if (stats_->tracing()) {
+            stats_->Trace("cache.write_failed", {{"blkno", buf->blkno_}});
+          }
+          buf->write_failed_ = true;
+          if (!buf->dirty_) {
+            buf->dirty_ = true;
+            stat_dirty_->Add(1);
+          }
+          hooks_->WriteAborted(*buf);
+        }
+        buf->rolled_back_ = false;
+        buf->io_cv_.NotifyAll();
+      });
   buf->last_write_req_ = id;
   return id;
 }
 
-Task<void> BufferCache::Bwrite(BufRef buf, OrderingTag tag) {
+Task<IoStatus> BufferCache::Bwrite(BufRef buf, OrderingTag tag) {
   stat_sync_writes_->Inc();
   while (!config_.copy_blocks && buf->writes_in_flight_ > 0) {
     co_await buf->io_cv_.Await();
   }
   co_await WaitForCopyBudget();
   uint64_t id = IssueWrite(buf, std::move(tag), false);
-  co_await driver_->WaitFor(id);
+  IoStatus status = co_await driver_->WaitFor(id);
+  co_return status;
 }
 
 Task<uint64_t> BufferCache::Bawrite(BufRef buf, OrderingTag tag) {
@@ -277,7 +321,8 @@ Task<void> BufferCache::SyncAll() {
   for (int round = 0; round < 200; ++round) {
     std::vector<BufRef> dirty;
     for (auto& [blkno, buf] : buffers_) {
-      if (buf->dirty_ && !buf->io_locked_ && buf->writes_in_flight_ == 0) {
+      if (buf->dirty_ && !buf->write_failed_ && !buf->io_locked_ &&
+          buf->writes_in_flight_ == 0) {
         dirty.push_back(buf);
       }
     }
@@ -285,7 +330,8 @@ Task<void> BufferCache::SyncAll() {
       co_return;
     }
     for (auto& buf : dirty) {
-      if (buf->dirty_ && !buf->io_locked_ && buf->writes_in_flight_ == 0) {
+      if (buf->dirty_ && !buf->write_failed_ && !buf->io_locked_ &&
+          buf->writes_in_flight_ == 0) {
         IssueWrite(buf, OrderingTag{}, false);
       }
     }
@@ -308,7 +354,17 @@ void BufferCache::DropClean() {
 size_t BufferCache::DirtyCount() const {
   size_t n = 0;
   for (const auto& [blkno, buf] : buffers_) {
-    if (buf->dirty_) {
+    if (buf->dirty_ && !buf->write_failed_) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t BufferCache::FailedCount() const {
+  size_t n = 0;
+  for (const auto& [blkno, buf] : buffers_) {
+    if (buf->dirty_ && buf->write_failed_) {
       ++n;
     }
   }
@@ -319,7 +375,8 @@ void BufferCache::SyncerPass(double fraction) {
   // Phase 1: write out buffers marked on the previous pass.
   std::vector<BufRef> to_write;
   for (auto& [blkno, buf] : buffers_) {
-    if (buf->syncer_mark_ && buf->dirty_ && !buf->io_locked_ && buf->writes_in_flight_ == 0) {
+    if (buf->syncer_mark_ && buf->dirty_ && !buf->write_failed_ && !buf->io_locked_ &&
+        buf->writes_in_flight_ == 0) {
       to_write.push_back(buf);
     }
   }
@@ -338,7 +395,7 @@ void BufferCache::SyncerPass(double fraction) {
   std::vector<uint32_t> dirty_blocks;
   dirty_blocks.reserve(buffers_.size());
   for (auto& [blkno, buf] : buffers_) {
-    if (buf->dirty_ && !buf->syncer_mark_) {
+    if (buf->dirty_ && !buf->write_failed_ && !buf->syncer_mark_) {
       dirty_blocks.push_back(blkno);
     }
   }

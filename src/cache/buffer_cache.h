@@ -57,6 +57,11 @@ class Buf {
   bool write_pending() const { return writes_in_flight_ > 0; }
   bool rolled_back() const { return rolled_back_; }
   bool valid() const { return valid_; }
+  // The last write of this buffer failed terminally (retries and spare
+  // pool exhausted). The buffer stays dirty but flush paths skip it, so
+  // a permanently bad sector cannot livelock SyncAll/the syncer. Cleared
+  // if a later explicit write succeeds.
+  bool write_failed() const { return write_failed_; }
 
   // Set by DepHooks::PrepareWrite when it undoes updates in the buffer for
   // the duration of the write: readers block until the I/O completes and
@@ -86,6 +91,9 @@ class Buf {
                               // several, each sourced from its own copy.
   bool rolled_back_ = false;  // In-flight write undid some updates: block
                               // reads until it completes.
+  bool write_failed_ = false;  // Last write failed terminally; see above.
+  bool read_failed_ = false;   // Fill read failed; buffer is being dropped
+                               // and concurrent waiters must bail out.
   bool syncer_mark_ = false;  // Marked on the previous syncer pass.
   uint64_t last_write_req_ = 0;  // Driver id of the newest write of this buf.
   std::vector<uint64_t> pending_write_deps_;  // Chain deps for the next write.
@@ -106,8 +114,14 @@ class DepHooks {
     (void)buf;
     return nullptr;
   }
-  // Interrupt-level completion processing. Must not block.
+  // Interrupt-level completion processing. Must not block. Only called
+  // when the write succeeded.
   virtual void WriteDone(Buf& buf) { (void)buf; }
+  // Interrupt-level failure processing: the write completed with an
+  // error, so nothing reached the disk. Implementations must restore any
+  // updates PrepareWrite undid and clear capture state WITHOUT retiring
+  // dependencies. Must not block.
+  virtual void WriteAborted(Buf& buf) { (void)buf; }
   // Called when a block is (re)accessed through Bread/Bget, after a read
   // fill if one was needed. Lets undone updates be re-applied.
   virtual void BufferAccessed(Buf& buf) { (void)buf; }
@@ -139,6 +153,8 @@ struct CacheStats {
   uint64_t block_copies = 0;      // -CB clones made.
   uint64_t copy_budget_waits = 0;  // Times Bawrite stalled on copy memory.
   uint64_t evictions = 0;
+  uint64_t read_failures = 0;   // Fill reads that failed terminally.
+  uint64_t write_failures = 0;  // Writes that failed terminally.
 };
 
 class BufferCache {
@@ -154,7 +170,9 @@ class BufferCache {
   CacheStats stats() const;  // Snapshot of the cache.* counters.
   StatsRegistry* stats_registry() const { return stats_; }
 
-  // Returns the block, reading it from disk on a miss.
+  // Returns the block, reading it from disk on a miss. Returns nullptr
+  // if the device read failed terminally (the placeholder is dropped, so
+  // a later Bread retries from scratch).
   Task<BufRef> Bread(uint32_t blkno);
 
   // Returns the block without reading: contents start zeroed. For newly
@@ -173,9 +191,10 @@ class BufferCache {
   void MarkDirty(Buf& buf);
   void MarkDirty(uint32_t blkno);  // No-op if the block is not cached.
 
-  // Synchronous write: issue and wait for completion. Waits first if a
-  // previous write of this buffer is still outstanding.
-  Task<void> Bwrite(BufRef buf, OrderingTag tag = {});
+  // Synchronous write: issue and wait for completion, returning the
+  // device status. Waits first if a previous write of this buffer is
+  // still outstanding.
+  Task<IoStatus> Bwrite(BufRef buf, OrderingTag tag = {});
 
   // Asynchronous write: issue with ordering tag, return the request id.
   // Like UNIX bawrite, sleeps while a previous write of the same buffer
@@ -200,8 +219,12 @@ class BufferCache {
   // cache after reboot, used between benchmark setup and timed phases).
   void DropClean();
 
-  // Number of dirty buffers (tests / syncer accounting).
+  // Number of dirty buffers (tests / syncer accounting). Excludes
+  // write-failed buffers: they are permanently unflushable and must not
+  // keep drain loops spinning.
   size_t DirtyCount() const;
+  // Dirty buffers whose last write failed terminally.
+  size_t FailedCount() const;
   size_t CachedCount() const { return buffers_.size(); }
   bool Cached(uint32_t blkno) const { return buffers_.contains(blkno); }
 
@@ -242,6 +265,8 @@ class BufferCache {
   Counter* stat_block_copies_ = nullptr;
   Counter* stat_copy_budget_waits_ = nullptr;
   Counter* stat_evictions_ = nullptr;
+  Counter* stat_read_failures_ = nullptr;
+  Counter* stat_write_failures_ = nullptr;
   Gauge* stat_dirty_ = nullptr;
   Gauge* stat_copies_out_ = nullptr;
 

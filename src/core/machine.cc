@@ -43,10 +43,12 @@ std::string_view SchemeName(Scheme s) {
 
 namespace {
 
-DriverConfig MakeDriverConfig(const MachineConfig& cfg, StatsRegistry* stats) {
+DriverConfig MakeDriverConfig(const MachineConfig& cfg, StatsRegistry* stats,
+                              FaultInjector* faults) {
   DriverConfig d;
   d.collect_traces = cfg.collect_traces;
   d.stats = stats;
+  d.faults = faults;
   switch (cfg.scheme) {
     case Scheme::kSchedulerFlag:
       d.mode = cfg.ignore_flags ? OrderingMode::kNone : OrderingMode::kFlag;
@@ -107,8 +109,12 @@ Machine::Machine(MachineConfig config) : config_(config) {
   }
   model_->AttachStats(stats_.get());
   cpu_ = std::make_unique<Cpu>(engine_.get());
+  if (config_.fault.Enabled()) {
+    faults_ = std::make_unique<FaultInjector>(config_.fault);
+    faults_->AttachStats(stats_.get());
+  }
   driver_ = std::make_unique<DiskDriver>(engine_.get(), model_.get(), image_.get(),
-                                         MakeDriverConfig(config_, stats_.get()));
+                                         MakeDriverConfig(config_, stats_.get(), faults_.get()));
   cache_ = std::make_unique<BufferCache>(engine_.get(), driver_.get(),
                                          MakeCacheConfig(config_, stats_.get()));
   SyncerConfig syncer_cfg = config_.syncer;

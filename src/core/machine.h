@@ -20,6 +20,7 @@
 #include "src/disk/disk_image.h"
 #include "src/disk/disk_model.h"
 #include "src/driver/disk_driver.h"
+#include "src/fault/fault_injector.h"
 #include "src/fs/filesystem.h"
 #include "src/journal/journal_manager.h"
 #include "src/journal/journal_recovery.h"
@@ -69,6 +70,11 @@ struct MachineConfig {
   uint32_t journal_log_blocks = 1024;
   SimDuration journal_commit_interval = Sec(1);
 
+  // Disk fault injection (off by default: all rates zero). When enabled
+  // the driver consults the injector on every service attempt and runs
+  // its retry/remap/timeout recovery path.
+  FaultConfig fault;
+
   DiskGeometry geometry;
   size_t cache_capacity_blocks = 8192;
   SyncerConfig syncer;
@@ -100,6 +106,8 @@ class Machine {
   DiskDriver& driver() { return *driver_; }
   BufferCache& cache() { return *cache_; }
   SyncerDaemon& syncer() { return *syncer_; }
+  // Null unless config.fault has a non-zero rate or scripted entries.
+  FaultInjector* faults() { return faults_.get(); }
   FileSystem& fs() { return *fs_; }
   OrderingPolicy& policy() { return *policy_; }
   // Null unless the scheme is kJournaling.
@@ -140,6 +148,7 @@ class Machine {
   std::unique_ptr<DiskModel> model_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<Cpu> cpu_;
+  std::unique_ptr<FaultInjector> faults_;  // Before driver_: outlives it.
   std::unique_ptr<DiskDriver> driver_;
   std::unique_ptr<BufferCache> cache_;
   std::unique_ptr<SyncerDaemon> syncer_;

@@ -117,8 +117,14 @@ Task<void> ConventionalPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef dat
     DiskDriver* driver = fs()->cache()->driver();
     uint64_t id = driver->IssueWrite(data_buf->blkno(), {fs()->cache()->ZeroBlock()});
     SimTime t0 = fs()->engine()->Now();
-    co_await driver->WaitFor(id);
+    IoStatus init_status = co_await driver->WaitFor(id);
     proc.io_wait += fs()->engine()->Now() - t0;
+    if (init_status != IoStatus::kOk) {
+      // The block may hold stale data from its previous life; committing
+      // the pointer anyway matches a disk that dropped the init write.
+      // Record the degradation so sync callers report it.
+      fs()->NoteIoError();
+    }
   }
   co_await fs()->CommitBlockPointer(proc, ip, loc, data_buf->blkno());
 }
@@ -132,11 +138,20 @@ Task<void> ConventionalPolicy::SetupBlockFree(Proc& proc, Inode& ip,
   NoteOrderingPoint("block_free", "sync_write");
   co_await fs()->FlushInodeToBuffer(ip);
   SimTime t0 = fs()->engine()->Now();
-  co_await fs()->cache()->Bwrite(ip.itable_buf);
+  IoStatus ws = co_await fs()->cache()->Bwrite(ip.itable_buf);
+  if (ws != IoStatus::kOk) {
+    fs()->NoteIoError();
+  }
   for (BufRef& ibuf : updated_indirects) {
-    co_await fs()->cache()->Bwrite(ibuf);
+    ws = co_await fs()->cache()->Bwrite(ibuf);
+    if (ws != IoStatus::kOk) {
+      fs()->NoteIoError();
+    }
   }
   proc.io_wait += fs()->engine()->Now() - t0;
+  // Even on a failed reset write the blocks are released: the buffer
+  // stays dirty (write_failed) so a later successful flush restores the
+  // ordering invariant, and fsck can repair the transient window.
   co_await fs()->FreeBlocksInBitmap(proc, blocks);
 }
 
@@ -152,8 +167,11 @@ Task<void> ConventionalPolicy::SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_b
   NoteOrderingPoint("link_add", "sync_write");
   co_await fs()->FlushInodeToBuffer(target);
   SimTime t0 = fs()->engine()->Now();
-  co_await fs()->cache()->Bwrite(target.itable_buf);
+  IoStatus ws = co_await fs()->cache()->Bwrite(target.itable_buf);
   proc.io_wait += fs()->engine()->Now() - t0;
+  if (ws != IoStatus::kOk) {
+    fs()->NoteIoError();
+  }
 }
 
 Task<void> ConventionalPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef dir_buf,
@@ -168,10 +186,16 @@ Task<void> ConventionalPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef di
   if (rename != nullptr && rename->new_dir_buf->blkno() != dir_buf->blkno()) {
     // Rule 1: the new name reaches disk before the old one is cleared.
     NoteOrderingPoint("rename_fence", "sync_write");
-    co_await fs()->cache()->Bwrite(rename->new_dir_buf);
+    IoStatus fence = co_await fs()->cache()->Bwrite(rename->new_dir_buf);
+    if (fence != IoStatus::kOk) {
+      fs()->NoteIoError();
+    }
   }
   // Rule 2: the cleared entry reaches disk before the link count drops.
-  co_await fs()->cache()->Bwrite(dir_buf);
+  IoStatus ws = co_await fs()->cache()->Bwrite(dir_buf);
+  if (ws != IoStatus::kOk) {
+    fs()->NoteIoError();
+  }
   proc.io_wait += fs()->engine()->Now() - t0;
   co_await fs()->ReleaseLink(proc, removed_ino);
 }
@@ -183,8 +207,11 @@ Task<void> ConventionalPolicy::SetupInodeFree(Proc& proc, Inode& ip) {
   if (ip.dirty || ip.itable_buf->dirty()) {
     co_await fs()->FlushInodeToBuffer(ip);
     SimTime t0 = fs()->engine()->Now();
-    co_await fs()->cache()->Bwrite(ip.itable_buf);
+    IoStatus ws = co_await fs()->cache()->Bwrite(ip.itable_buf);
     proc.io_wait += fs()->engine()->Now() - t0;
+    if (ws != IoStatus::kOk) {
+      fs()->NoteIoError();
+    }
   }
   co_await fs()->FreeInodeInBitmap(proc, ip.ino);
 }
@@ -193,6 +220,14 @@ Task<void> ConventionalPolicy::FlushAll(Proc& proc) { co_await DrainAllDirty(pro
 
 // ---------------------------------------------------------------------
 // Scheduler flag
+//
+// Fault-tolerance contract: retries happen inside the device service
+// loop while the request stays in service, so flagged ordering (and
+// chain dependencies below) hold across re-issued attempts with no
+// bookkeeping here. A request that exhausts its retries completes with
+// a failure status; its buffer is re-dirtied by the cache (sticky
+// write_failed) and dependents are released - equivalent to relaxing
+// that one ordering edge to a delayed write, which fsck can repair.
 // ---------------------------------------------------------------------
 
 Task<void> SchedulerFlagPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf,
@@ -387,6 +422,10 @@ Task<void> SchedulerChainPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef 
   // that block is ordered behind the reset directly or transitively
   // (same-block writes complete in issue order).
   InodeRef removed = co_await fs()->Iget(proc, removed_ino);
+  if (removed == nullptr) {
+    fs()->NoteIoError();  // Itable read failed; fsck repairs the count.
+    co_return;
+  }
   fs()->cache()->AddWriteDep(*removed->itable_buf, reset_id);
   co_await fs()->ReleaseLink(proc, removed_ino);
 }

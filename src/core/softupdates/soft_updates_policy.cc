@@ -15,6 +15,7 @@ class SoftDepHooks final : public DepHooks {
     return p_->PrepareWrite(buf);
   }
   void WriteDone(Buf& buf) override { p_->WriteDone(buf); }
+  void WriteAborted(Buf& buf) override { p_->WriteAborted(buf); }
   void BufferAccessed(Buf& buf) override { p_->BufferAccessed(buf); }
 
  private:
@@ -595,6 +596,57 @@ void SoftUpdatesPolicy::WriteDone(Buf& buf) {
     bd.pinned.reset();
   }
   MaybeErase(buf.blkno());
+}
+
+void SoftUpdatesPolicy::WriteAborted(Buf& buf) {
+  // The write never reached stable storage: undo the undos (restore the
+  // in-memory truth in the re-dirtied buffer) and reset capture state, but
+  // retire NOTHING - every dependency waits for the next, successful write.
+  auto wit = inode_waiters_.find(buf.blkno());
+  if (wit != inode_waiters_.end()) {
+    for (DirAddDep* ad : wit->second) {
+      ad->inode_captured = false;
+    }
+  }
+  auto it = deps_.find(buf.blkno());
+  if (it == deps_.end()) {
+    return;
+  }
+  BlockDeps& bd = it->second;
+  bd.write_in_flight = false;
+  for (auto& ad : bd.allocs) {
+    if (ad->undone_in_flight) {
+      InodeRef ip = fs()->IgetCached(ad->owner_ino);
+      if (ip != nullptr && ad->kind != PtrLoc::Kind::kIndirectSlot) {
+        memcpy(buf.data().data() + fs()->sb().ItableOffset(ad->owner_ino), &ip->d,
+               sizeof(DiskInode));
+      }
+      ad->undone_in_flight = false;
+      stat_redos_->Inc();
+    }
+    ad->captured = false;
+  }
+  for (FreeRef& fr : bd.frees) {
+    if (!fr.done) {
+      fr.captured = false;
+    }
+  }
+  for (auto& ad : bd.adds) {
+    if (ad->undone_in_flight) {
+      *buf.At<uint32_t>(ad->offset) = ad->new_ino;
+      ad->undone_in_flight = false;
+      stat_redos_->Inc();
+    }
+    ad->captured = false;
+  }
+  for (auto& rm : bd.rems) {
+    if (rm->undone_in_flight) {
+      memset(buf.data().data() + rm->offset, 0, sizeof(DirEntry));
+      rm->undone_in_flight = false;
+      stat_redos_->Inc();
+    }
+    rm->captured = false;
+  }
 }
 
 void SoftUpdatesPolicy::BufferAccessed(Buf& buf) {

@@ -161,6 +161,7 @@ class SoftUpdatesPolicy final : public OrderingPolicy {
   // Hook bodies (called by SoftDepHooks).
   std::shared_ptr<const BlockData> PrepareWrite(Buf& buf);
   void WriteDone(Buf& buf);
+  void WriteAborted(Buf& buf);
   void BufferAccessed(Buf& buf);
 
   void CompleteNewBlock(Buf& buf);

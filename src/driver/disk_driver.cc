@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/fault/fault_injector.h"
+
 namespace mufs {
 
 namespace {
@@ -32,6 +34,10 @@ DiskDriver::DiskDriver(Engine* engine, DiskModel* model, DiskImage* image, Drive
   stat_merges_ = &stats_->counter("disk.merged_requests");
   stat_clook_wraps_ = &stats_->counter("disk.clook_wraps");
   stat_busy_ns_ = &stats_->counter("disk.busy_ns");
+  stat_retries_ = &stats_->counter("driver.retries");
+  stat_timeouts_ = &stats_->counter("driver.timeouts");
+  stat_remaps_ = &stats_->counter("driver.remaps");
+  stat_gave_up_ = &stats_->counter("driver.gave_up");
   stat_queue_depth_ = &stats_->gauge("disk.queue_depth");
   stat_response_ = &stats_->histogram("disk.response_ns");
   stat_access_ = &stats_->histogram("disk.access_ns");
@@ -42,7 +48,7 @@ DiskDriver::DiskDriver(Engine* engine, DiskModel* model, DiskImage* image, Drive
 DiskDriver::~DiskDriver() { stopping_ = true; }
 
 uint64_t DiskDriver::IssueWrite(uint32_t blkno, std::vector<std::shared_ptr<const BlockData>> data,
-                                OrderingTag tag, std::function<void()> isr) {
+                                OrderingTag tag, IoCallback isr) {
   assert(!data.empty());
   auto req = std::make_unique<Request>();
   req->dir = IoDir::kWrite;
@@ -54,7 +60,7 @@ uint64_t DiskDriver::IssueWrite(uint32_t blkno, std::vector<std::shared_ptr<cons
   return Enqueue(std::move(req), std::move(isr));
 }
 
-uint64_t DiskDriver::IssueRead(uint32_t blkno, BlockData* out, std::function<void()> isr) {
+uint64_t DiskDriver::IssueRead(uint32_t blkno, BlockData* out, IoCallback isr) {
   auto req = std::make_unique<Request>();
   req->dir = IoDir::kRead;
   req->blkno = blkno;
@@ -63,7 +69,7 @@ uint64_t DiskDriver::IssueRead(uint32_t blkno, BlockData* out, std::function<voi
   return Enqueue(std::move(req), std::move(isr));
 }
 
-uint64_t DiskDriver::Enqueue(std::unique_ptr<Request> req, std::function<void()> isr) {
+uint64_t DiskDriver::Enqueue(std::unique_ptr<Request> req, IoCallback isr) {
   uint64_t id = next_id_++;
   req->ids.push_back(id);
   req->issue_index = next_issue_index_++;
@@ -307,25 +313,8 @@ Task<void> DiskDriver::ServiceLoop() {
     in_service_ = r;
     SimTime service_start = engine_->Now();
     uint32_t origin = scan_from_;
-    uint32_t from_cyl = model_->CurrentCylinder();
-    SimDuration dur =
-        model_->Access(r->dir == IoDir::kWrite, r->blkno, r->count, service_start);
-    stat_busy_ns_->Inc(static_cast<uint64_t>(dur));
-    stat_access_->Record(dur);
-    stat_queue_delay_->Record(service_start - r->issue_time);
-    if (stats_->tracing()) {
-      uint32_t to_cyl = model_->CylinderOf(r->blkno);
-      uint32_t seek_cyls = to_cyl > from_cyl ? to_cyl - from_cyl : from_cyl - to_cyl;
-      stats_->Trace("disk.service",
-                    {{"id", r->ids.front()},
-                     {"dir", r->dir == IoDir::kWrite ? "w" : "r"},
-                     {"blkno", r->blkno},
-                     {"count", r->count},
-                     {"origin", origin},
-                     {"seek_cyls", seek_cyls},
-                     {"qdepth", PendingCount()}});
-    }
-    co_await engine_->Sleep(dur);
+    uint32_t attempts = 0;
+    IoStatus status = co_await ServiceOne(r, service_start, origin, &attempts);
     scan_from_ = r->blkno + r->count;
     if (config_.collect_traces) {
       RequestTrace t;
@@ -337,42 +326,157 @@ Task<void> DiskDriver::ServiceLoop() {
       t.issue_time = r->issue_time;
       t.service_start = service_start;
       t.complete_time = engine_->Now();
+      t.status = status;
+      t.retries = attempts;
       traces_.push_back(t);
     }
-    Complete(r);
+    Complete(r, status);
     in_service_ = nullptr;
     stat_queue_depth_->Set(static_cast<int64_t>(PendingCount()));
   }
 }
 
-void DiskDriver::Complete(Request* req) {
+Task<IoStatus> DiskDriver::ServiceOne(Request* r, SimTime service_start, uint32_t origin,
+                                      uint32_t* attempts_out) {
+  // One device command per iteration; a faulted attempt either backs off
+  // and retries (the request stays in_service_, so its id, issue index
+  // and every eligibility/dependency structure are untouched) or gives
+  // up and completes with kFailed.
+  uint32_t attempts = 0;       // Failed attempts so far.
+  uint32_t bad_hits = 0;       // Consecutive bad-sector failures.
+  SimDuration backoff = config_.retry_backoff;
+  IoStatus status = IoStatus::kOk;
+  for (;;) {
+    FaultKind fault = config_.faults == nullptr
+                          ? FaultKind::kNone
+                          : config_.faults->Decide(r->dir, r->blkno, r->count);
+    if (fault == FaultKind::kNone) {
+      uint32_t from_cyl = model_->CurrentCylinder();
+      SimDuration dur =
+          model_->Access(r->dir == IoDir::kWrite, r->blkno, r->count, engine_->Now());
+      stat_busy_ns_->Inc(static_cast<uint64_t>(dur));
+      stat_access_->Record(dur);
+      if (attempts == 0) {
+        stat_queue_delay_->Record(service_start - r->issue_time);
+      }
+      if (stats_->tracing()) {
+        uint32_t to_cyl = model_->CylinderOf(r->blkno);
+        uint32_t seek_cyls = to_cyl > from_cyl ? to_cyl - from_cyl : from_cyl - to_cyl;
+        stats_->Trace("disk.service",
+                      {{"id", r->ids.front()},
+                       {"dir", r->dir == IoDir::kWrite ? "w" : "r"},
+                       {"blkno", r->blkno},
+                       {"count", r->count},
+                       {"origin", origin},
+                       {"seek_cyls", seek_cyls},
+                       {"qdepth", PendingCount()}});
+      }
+      co_await engine_->Sleep(dur);
+      break;
+    }
+    if (stats_->tracing()) {
+      stats_->Trace("disk.fault", {{"id", r->ids.front()},
+                                   {"blkno", r->blkno},
+                                   {"count", r->count},
+                                   {"kind", FaultKindName(fault)},
+                                   {"attempt", attempts}});
+    }
+    if (fault == FaultKind::kStall) {
+      // The command hangs at the device; the driver detects it with a
+      // timeout, aborts, and re-issues.
+      stat_timeouts_->Inc();
+      stat_busy_ns_->Inc(static_cast<uint64_t>(config_.request_timeout));
+      co_await engine_->Sleep(config_.request_timeout);
+    } else {
+      // Media error: the device spends the access time before reporting
+      // the failure.
+      SimDuration dur =
+          model_->Access(r->dir == IoDir::kWrite, r->blkno, r->count, engine_->Now());
+      stat_busy_ns_->Inc(static_cast<uint64_t>(dur));
+      co_await engine_->Sleep(dur);
+      if (fault == FaultKind::kBadSector) {
+        ++bad_hits;
+        if (bad_hits >= 2) {
+          // The same sectors failed verification twice: reallocate them
+          // into the spare pool if spares remain. The remap is
+          // transparent and LBA-preserving, so the next attempt both
+          // succeeds and sees the original contents.
+          std::vector<uint32_t> bad = config_.faults->BadBlocksIn(r->blkno, r->count);
+          if (!bad.empty() &&
+              spares_used_ + bad.size() <= static_cast<size_t>(config_.spare_blocks)) {
+            for (uint32_t b : bad) {
+              config_.faults->Remap(b);
+              ++spares_used_;
+              stat_remaps_->Inc();
+              if (stats_->tracing()) {
+                stats_->Trace("disk.remap", {{"id", r->ids.front()}, {"blkno", b}});
+              }
+            }
+            bad_hits = 0;
+          }
+        }
+      }
+    }
+    if (attempts >= static_cast<uint32_t>(config_.max_retries)) {
+      stat_gave_up_->Inc();
+      if (stats_->tracing()) {
+        stats_->Trace("disk.gave_up", {{"id", r->ids.front()},
+                                       {"blkno", r->blkno},
+                                       {"count", r->count},
+                                       {"attempts", attempts + 1}});
+      }
+      status = IoStatus::kFailed;
+      break;
+    }
+    ++attempts;
+    stat_retries_->Inc();
+    // Exponential backoff in simulated time before the re-issue.
+    co_await engine_->Sleep(backoff);
+    backoff = std::min<SimDuration>(backoff * 2, config_.retry_backoff_cap);
+  }
+  *attempts_out = attempts;
+  co_return status;
+}
+
+void DiskDriver::Complete(Request* req, IoStatus status) {
   SimTime now = engine_->Now();
-  stat_response_->Record(now - req->issue_time);
-  if (stats_->tracing()) {
+  if (status == IoStatus::kOk) {
+    stat_response_->Record(now - req->issue_time);
+    if (stats_->tracing()) {
+      stats_->Trace("disk.complete", {{"id", req->ids.front()},
+                                      {"blkno", req->blkno},
+                                      {"count", req->count},
+                                      {"response_ns", now - req->issue_time}});
+    }
+    // Media transfer happens only on success: a failed write leaves the
+    // image untouched, a failed read leaves the destination untouched.
+    if (req->dir == IoDir::kWrite) {
+      for (uint32_t i = 0; i < req->count; ++i) {
+        image_->Write(req->blkno + i, *req->data[i], engine_->Now());
+      }
+    } else {
+      image_->Read(req->blkno, req->read_out);
+    }
+  } else if (stats_->tracing()) {
     stats_->Trace("disk.complete", {{"id", req->ids.front()},
                                     {"blkno", req->blkno},
                                     {"count", req->count},
-                                    {"response_ns", now - req->issue_time}});
-  }
-  if (req->dir == IoDir::kWrite) {
-    for (uint32_t i = 0; i < req->count; ++i) {
-      image_->Write(req->blkno + i, *req->data[i], engine_->Now());
-    }
-  } else {
-    image_->Read(req->blkno, req->read_out);
+                                    {"response_ns", now - req->issue_time},
+                                    {"status", IoStatusName(status)}});
   }
   UnindexRequest(*req);
   for (uint64_t id : req->ids) {
-    completed_.insert(id);
+    completed_.emplace(id, status);
     auto it = waiters_.find(id);
     if (it != waiters_.end()) {
       it->second->Set();
       waiters_.erase(it);
     }
   }
-  // Interrupt-level completion processing (must not block).
+  // Interrupt-level completion processing (must not block). Every ISR
+  // receives the terminal status and must handle failure.
   for (auto& isr : req->isrs) {
-    isr();
+    isr(status);
   }
   PruneFlaggedIndices();
 }
@@ -387,15 +491,17 @@ void DiskDriver::PruneFlaggedIndices() {
 
 void DiskDriver::Kick() { work_available_.NotifyAll(); }
 
-Task<void> DiskDriver::WaitFor(uint64_t id) {
-  if (completed_.contains(id)) {
-    co_return;
+Task<IoStatus> DiskDriver::WaitFor(uint64_t id) {
+  auto done = completed_.find(id);
+  if (done != completed_.end()) {
+    co_return done->second;
   }
   auto it = waiters_.find(id);
   if (it == waiters_.end()) {
     it = waiters_.emplace(id, std::make_unique<OneShotEvent>(engine_)).first;
   }
   co_await it->second->Wait();
+  co_return completed_.at(id);
 }
 
 Task<void> DiskDriver::Drain() {

@@ -49,6 +49,8 @@
 
 namespace mufs {
 
+class FaultInjector;
+
 enum class OrderingMode : uint8_t { kNone, kFlag, kChains };
 enum class FlagSemantics : uint8_t { kFull, kBack, kPart };
 
@@ -60,6 +62,24 @@ struct DriverConfig {
   // Shared metrics registry (the Machine's). When null the driver owns a
   // private registry, so standalone construction needs no guards.
   StatsRegistry* stats = nullptr;
+
+  // --- error path ----------------------------------------------------
+  // Optional fault source, consulted once per service attempt. With no
+  // injector the service path is identical to the fault-free driver.
+  FaultInjector* faults = nullptr;
+  // Failed attempts are retried up to `max_retries` times with
+  // exponential backoff in simulated time (base doubles per retry, up to
+  // the cap) before the request completes with IoStatus::kFailed.
+  int max_retries = 8;
+  SimDuration retry_backoff = Msec(2);
+  SimDuration retry_backoff_cap = Msec(64);
+  // A stalled command is abandoned after this long and re-issued (counts
+  // as one retry).
+  SimDuration request_timeout = Msec(500);
+  // Spare pool for remapping latent bad sectors (reallocation-on-verify:
+  // after two bad-sector failures of one request the driver remaps the
+  // offending blocks if spares remain).
+  uint32_t spare_blocks = 64;
 };
 
 class DiskDriver {
@@ -71,18 +91,28 @@ class DiskDriver {
 
   // Issues an asynchronous write of `data.size()` consecutive blocks
   // starting at `blkno`. Returns the request id. `isr` (optional) runs at
-  // completion, interrupt-level: it must not block.
+  // completion, interrupt-level: it must not block, and it receives the
+  // request's terminal IoStatus (completion does not imply success).
   uint64_t IssueWrite(uint32_t blkno, std::vector<std::shared_ptr<const BlockData>> data,
-                      OrderingTag tag = {}, std::function<void()> isr = nullptr);
+                      OrderingTag tag = {}, IoCallback isr = nullptr);
 
   // Issues an asynchronous single-block read into `out` (caller keeps the
-  // destination alive and unread until completion).
-  uint64_t IssueRead(uint32_t blkno, BlockData* out, std::function<void()> isr = nullptr);
+  // destination alive and unread until completion). On failure `out` is
+  // left untouched.
+  uint64_t IssueRead(uint32_t blkno, BlockData* out, IoCallback isr = nullptr);
 
-  // Suspends until request `id` completes (returns immediately if done).
-  Task<void> WaitFor(uint64_t id);
+  // Suspends until request `id` completes (returns immediately if done)
+  // and yields its terminal status.
+  Task<IoStatus> WaitFor(uint64_t id);
 
   bool IsComplete(uint64_t id) const { return completed_.contains(id); }
+  // Terminal status of a completed request (kOk if `id` is unknown).
+  IoStatus CompletionStatus(uint64_t id) const {
+    auto it = completed_.find(id);
+    return it == completed_.end() ? IoStatus::kOk : it->second;
+  }
+  // Spare-pool sectors consumed by bad-sector remapping so far.
+  uint32_t SparesUsed() const { return spares_used_; }
 
   // Queue introspection (used by tests and by the FS for SYNCIO fences).
   size_t PendingCount() const { return queue_.size() + (in_service_ ? 1 : 0); }
@@ -112,19 +142,23 @@ class DiskDriver {
     std::vector<uint64_t> deps;
     std::vector<std::shared_ptr<const BlockData>> data;  // Writes.
     BlockData* read_out = nullptr;                       // Reads.
-    std::vector<std::function<void()>> isrs;
+    std::vector<IoCallback> isrs;
   };
 
-  uint64_t Enqueue(std::unique_ptr<Request> req, std::function<void()> isr);
+  uint64_t Enqueue(std::unique_ptr<Request> req, IoCallback isr);
   bool TryMerge(Request* incoming);
   void IndexRequest(const Request& r);
   void UnindexRequest(const Request& r);
   void Kick();
   Task<void> ServiceLoop();
+  // Services `r` (already detached, in_service_) including the fault /
+  // retry / remap path; returns the terminal status.
+  Task<IoStatus> ServiceOne(Request* r, SimTime service_start, uint32_t origin,
+                            uint32_t* attempts_out);
   Request* PickNext();
   bool Eligible(const Request& r) const;
   bool ConflictsWithEarlierWrite(const Request& r) const;
-  void Complete(Request* req);
+  void Complete(Request* req, IoStatus status);
   void PruneFlaggedIndices();
 
   Engine* engine_;
@@ -142,6 +176,10 @@ class DiskDriver {
   Counter* stat_merges_ = nullptr;
   Counter* stat_clook_wraps_ = nullptr;
   Counter* stat_busy_ns_ = nullptr;
+  Counter* stat_retries_ = nullptr;
+  Counter* stat_timeouts_ = nullptr;
+  Counter* stat_remaps_ = nullptr;
+  Counter* stat_gave_up_ = nullptr;
   Gauge* stat_queue_depth_ = nullptr;
   LatencyHistogram* stat_response_ = nullptr;
   LatencyHistogram* stat_access_ = nullptr;
@@ -163,7 +201,8 @@ class DiskDriver {
   std::unordered_map<uint32_t, std::set<uint64_t>> pending_writes_by_block_;
   std::list<std::unique_ptr<Request>> queue_;  // Issue order.
   Request* in_service_ = nullptr;
-  std::unordered_set<uint64_t> completed_;
+  uint32_t spares_used_ = 0;
+  std::unordered_map<uint64_t, IoStatus> completed_;
   std::unordered_map<uint64_t, std::unique_ptr<OneShotEvent>> waiters_;
   CondVar work_available_;
   CondVar queue_empty_;

@@ -14,6 +14,34 @@ namespace mufs {
 
 enum class IoDir : uint8_t { kRead, kWrite };
 
+// Per-request completion status. Requests terminate with kOk or kFailed;
+// the intermediate codes describe individual service attempts (surfaced
+// in traces and driver statistics, never to clients).
+enum class IoStatus : uint8_t {
+  kOk = 0,      // Completed successfully.
+  kMediaError,  // One attempt hit a transient error or a bad sector.
+  kTimeout,     // One attempt stalled past the driver's timeout.
+  kFailed,      // Terminal: retries and the spare pool are exhausted.
+};
+
+inline const char* IoStatusName(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kMediaError:
+      return "media_error";
+    case IoStatus::kTimeout:
+      return "timeout";
+    case IoStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+// Completion callback (ISR): receives the request's terminal status.
+// Callbacks must check it — completion does not imply success.
+using IoCallback = std::function<void(IoStatus)>;
+
 // Ordering information a file system attaches to a write request.
 struct OrderingTag {
   // One-bit ordering flag (scheduler-flag schemes, paper section 3.1).
@@ -34,6 +62,8 @@ struct RequestTrace {
   SimTime issue_time = 0;
   SimTime service_start = 0;
   SimTime complete_time = 0;
+  IoStatus status = IoStatus::kOk;
+  uint32_t retries = 0;  // Failed service attempts before completion.
 
   SimDuration QueueDelay() const { return service_start - issue_time; }
   SimDuration AccessTime() const { return complete_time - service_start; }

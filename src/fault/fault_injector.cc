@@ -1,0 +1,99 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+
+namespace mufs {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kBadSector:
+      return "bad_sector";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+void FaultInjector::AttachStats(StatsRegistry* stats) {
+  stat_injected_ = &stats->counter("fault.injected");
+  stat_transient_ = &stats->counter("fault.transient");
+  stat_stalls_ = &stats->counter("fault.stalls");
+  stat_bad_sectors_ = &stats->counter("fault.bad_sectors");
+  stat_remapped_ = &stats->counter("fault.remapped");
+}
+
+FaultKind FaultInjector::Decide(IoDir dir, uint32_t blkno, uint32_t count) {
+  ++decisions_;
+  FaultKind kind = FaultKind::kNone;
+  if (!scripted_.empty()) {
+    kind = scripted_.front();
+    scripted_.pop_front();
+    if (kind == FaultKind::kBadSector) {
+      bad_.insert(blkno);
+    }
+  } else if (!bad_.empty() && !BadBlocksIn(blkno, count).empty()) {
+    kind = FaultKind::kBadSector;
+  } else if (config_.Enabled()) {
+    // One draw per attempt, thresholds stacked so the draw sequence (and
+    // therefore every same-seed run) is deterministic.
+    double u = rng_.UniformDouble();
+    double err_rate =
+        dir == IoDir::kRead ? config_.read_error_rate : config_.write_error_rate;
+    if (u < config_.stall_rate) {
+      kind = FaultKind::kStall;
+    } else if (u < config_.stall_rate + config_.bad_sector_rate) {
+      bad_.insert(blkno);
+      kind = FaultKind::kBadSector;
+    } else if (u < config_.stall_rate + config_.bad_sector_rate + err_rate) {
+      kind = FaultKind::kTransient;
+    }
+  }
+  if (kind != FaultKind::kNone && stat_injected_ != nullptr) {
+    stat_injected_->Inc();
+    switch (kind) {
+      case FaultKind::kTransient:
+        stat_transient_->Inc();
+        break;
+      case FaultKind::kStall:
+        stat_stalls_->Inc();
+        break;
+      case FaultKind::kBadSector:
+        stat_bad_sectors_->Inc();
+        break;
+      case FaultKind::kNone:
+        break;
+    }
+  }
+  return kind;
+}
+
+void FaultInjector::Script(std::initializer_list<FaultKind> kinds) {
+  scripted_.insert(scripted_.end(), kinds.begin(), kinds.end());
+}
+
+void FaultInjector::MarkBadSector(uint32_t blkno) { bad_.insert(blkno); }
+
+std::vector<uint32_t> FaultInjector::BadBlocksIn(uint32_t blkno, uint32_t count) const {
+  std::vector<uint32_t> out;
+  for (uint32_t b = blkno; b < blkno + count; ++b) {
+    if (bad_.contains(b)) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+void FaultInjector::Remap(uint32_t blkno) {
+  if (bad_.erase(blkno) > 0 && stat_remapped_ != nullptr) {
+    stat_remapped_->Inc();
+  }
+}
+
+}  // namespace mufs

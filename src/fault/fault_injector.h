@@ -1,0 +1,111 @@
+// Seeded, deterministic disk fault injection.
+//
+// The driver consults the injector once per service attempt (including
+// retries). Three fault classes model the failure taxonomy the ordering
+// schemes are ultimately defending against:
+//
+//   - transient read/write errors: the device spends the access time,
+//     then reports a media error; a retry usually succeeds;
+//   - latent bad sectors: every access to the block fails until the
+//     driver remaps it into the spare pool;
+//   - stalls: the command hangs at the device and never completes; the
+//     driver detects this with a timeout and re-issues.
+//
+// Faults come from a per-op Bernoulli draw (one uniform draw per
+// attempt, so same-seed runs replay identically) or from a scripted
+// FIFO that tests use to force exact schedules.
+#ifndef MUFS_SRC_FAULT_FAULT_INJECTOR_H_
+#define MUFS_SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/driver/request.h"
+#include "src/sim/rng.h"
+#include "src/stats/stats_registry.h"
+
+namespace mufs {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,       // Attempt succeeds.
+  kTransient,      // One-shot media error; independent per attempt.
+  kBadSector,      // Block joins the bad set; fails until remapped.
+  kStall,          // Command hangs; driver must time out and re-issue.
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct FaultConfig {
+  uint64_t seed = 1;
+  double read_error_rate = 0;   // P(transient error) per read attempt.
+  double write_error_rate = 0;  // P(transient error) per write attempt.
+  double stall_rate = 0;        // P(stall) per attempt.
+  double bad_sector_rate = 0;   // P(mint a new bad sector) per attempt.
+
+  bool Enabled() const {
+    return read_error_rate > 0 || write_error_rate > 0 || stall_rate > 0 ||
+           bad_sector_rate > 0;
+  }
+
+  // The bench/test knob: one headline rate, split across the classes so
+  // transients dominate and terminal failures stay rare.
+  static FaultConfig Uniform(double rate, uint64_t seed) {
+    FaultConfig c;
+    c.seed = seed;
+    c.read_error_rate = rate;
+    c.write_error_rate = rate;
+    c.stall_rate = rate / 4;
+    c.bad_sector_rate = rate / 8;
+    return c;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  // Metrics go to `stats` from here on (fault.injected, fault.transient,
+  // fault.stalls, fault.bad_sectors, fault.remapped).
+  void AttachStats(StatsRegistry* stats);
+
+  // One decision per service attempt. Consumes the scripted FIFO first,
+  // then the bad-sector set, then a single uniform draw.
+  FaultKind Decide(IoDir dir, uint32_t blkno, uint32_t count);
+
+  // --- scripted schedules (tests) -----------------------------------
+  // Each entry feeds exactly one future Decide() call, oldest first;
+  // kNone entries let an attempt through untouched.
+  void Script(std::initializer_list<FaultKind> kinds);
+
+  // --- bad-sector set ------------------------------------------------
+  void MarkBadSector(uint32_t blkno);
+  bool IsBad(uint32_t blkno) const { return bad_.contains(blkno); }
+  // Bad blocks within [blkno, blkno + count), ascending.
+  std::vector<uint32_t> BadBlocksIn(uint32_t blkno, uint32_t count) const;
+  // Driver remapped `blkno` into the spare pool: accesses succeed again.
+  // The model is transparent and LBA-preserving (reallocation-on-verify),
+  // so the image contents are untouched.
+  void Remap(uint32_t blkno);
+
+  uint64_t DecisionCount() const { return decisions_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  std::deque<FaultKind> scripted_;
+  std::unordered_set<uint32_t> bad_;
+  uint64_t decisions_ = 0;
+
+  Counter* stat_injected_ = nullptr;
+  Counter* stat_transient_ = nullptr;
+  Counter* stat_stalls_ = nullptr;
+  Counter* stat_bad_sectors_ = nullptr;
+  Counter* stat_remapped_ = nullptr;
+};
+
+}  // namespace mufs
+
+#endif  // MUFS_SRC_FAULT_FAULT_INJECTOR_H_

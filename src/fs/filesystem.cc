@@ -24,6 +24,14 @@ class FsBufferHooks final : public DepHooks {
       h->WriteDone(buf);
     }
   }
+  void WriteAborted(Buf& buf) override {
+    // The serialized inode bytes stay in the (re-dirtied) buffer; only
+    // the policy's dependency state needs restoring.
+    DepHooks* h = fs_->policy() != nullptr ? fs_->policy()->CacheHooks() : nullptr;
+    if (h != nullptr) {
+      h->WriteAborted(buf);
+    }
+  }
   void BufferAccessed(Buf& buf) override {
     DepHooks* h = fs_->policy() != nullptr ? fs_->policy()->CacheHooks() : nullptr;
     if (h != nullptr) {
@@ -56,6 +64,14 @@ FileSystem::FileSystem(Engine* engine, Cpu* cpu, BufferCache* cache, SyncerDaemo
   stat_writes_ = &stats_->counter("fs.writes");
   stat_blocks_allocated_ = &stats_->counter("fs.blocks_allocated");
   stat_blocks_freed_ = &stats_->counter("fs.blocks_freed");
+  stat_io_errors_ = &stats_->counter("fs.io_errors");
+}
+
+bool FileSystem::io_degraded() const {
+  // Asynchronous write failures are noticed by the cache's completion
+  // handler, not by any FS call site; fold them in here.
+  CacheStats cs = cache_->stats();
+  return io_degraded_ || cs.write_failures > 0 || cs.read_failures > 0;
 }
 
 FsOpStats FileSystem::op_stats() const {
@@ -162,6 +178,9 @@ Task<FsStatus> FileSystem::Mount(Proc& proc) {
   assert(policy_ != nullptr && "SetPolicy must be called before Mount");
   co_await Charge(proc, config_.costs.syscall);
   BufRef buf = co_await cache_->Bread(0);
+  if (buf == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   memcpy(&sb_, buf->data().data(), sizeof(sb_));
   if (sb_.magic != kFsMagic) {
     co_return FsStatus::kInvalid;
@@ -202,6 +221,9 @@ Task<InodeRef> FileSystem::Iget(Proc& proc, uint32_t ino) {
   it = inode_cache_.find(ino);
   if (it != inode_cache_.end()) {
     co_return it->second;
+  }
+  if (buf == nullptr) {
+    co_return nullptr;  // Itable read failed; caller reports kIoError.
   }
   auto ip = std::make_shared<Inode>(engine_, ino);
   memcpy(&ip->d, buf->data().data() + sb_.ItableOffset(ino), sizeof(DiskInode));
@@ -305,6 +327,9 @@ Task<Result<uint32_t>> FileSystem::AllocBlock(Proc& proc, uint32_t hint) {
     while (blkno < hi) {
       uint32_t bm_index = blkno / kBitsPerBlock;
       BufRef bm = co_await cache_->Bread(sb_.block_bitmap_start + bm_index);
+      if (bm == nullptr) {
+        co_return FsStatus::kIoError;
+      }
       uint32_t limit = std::min(hi, (bm_index + 1) * kBitsPerBlock);
       for (; blkno < limit; ++blkno) {
         if (!BitmapGet(bm->data().data(), blkno % kBitsPerBlock) &&
@@ -333,6 +358,9 @@ Task<Result<uint32_t>> FileSystem::AllocInode(Proc& proc, uint32_t parent_hint) 
     while (ino < hi) {
       uint32_t bm_index = ino / kBitsPerBlock;
       BufRef bm = co_await cache_->Bread(sb_.inode_bitmap_start + bm_index);
+      if (bm == nullptr) {
+        co_return FsStatus::kIoError;
+      }
       uint32_t limit = std::min(hi, (bm_index + 1) * kBitsPerBlock);
       for (; ino < limit; ++ino) {
         if (!BitmapGet(bm->data().data(), ino % kBitsPerBlock)) {
@@ -354,6 +382,11 @@ Task<void> FileSystem::FreeBlocksInBitmap(Proc& proc, const std::vector<uint32_t
   for (uint32_t blkno : blocks) {
     assert(blkno >= sb_.data_start && blkno < sb_.total_blocks);
     BufRef bm = co_await cache_->Bread(sb_.block_bitmap_start + blkno / kBitsPerBlock);
+    if (bm == nullptr) {
+      // The block stays marked allocated: a leak, which fsck repairs.
+      NoteIoError();
+      continue;
+    }
     co_await cache_->BeginUpdate(*bm);
     BitmapSet(bm->data().data(), blkno % kBitsPerBlock, false);
     cache_->MarkDirty(*bm);
@@ -365,6 +398,11 @@ Task<void> FileSystem::FreeInodeInBitmap(Proc& proc, uint32_t ino) {
   co_await Charge(proc, config_.costs.block_free);
   LockGuard guard = co_await LockGuard::Acquire(&alloc_lock_);
   BufRef bm = co_await cache_->Bread(sb_.inode_bitmap_start + ino / kBitsPerBlock);
+  if (bm == nullptr) {
+    // The inode stays marked allocated: a leak, which fsck repairs.
+    NoteIoError();
+    co_return;
+  }
   co_await cache_->BeginUpdate(*bm);
   BitmapSet(bm->data().data(), ino % kBitsPerBlock, false);
   cache_->MarkDirty(*bm);
@@ -451,6 +489,9 @@ Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn,
       }
     }
     BufRef ibuf = co_await cache_->Bread(ip.d.indirect);
+    if (ibuf == nullptr) {
+      co_return FsStatus::kIoError;
+    }
     co_await cache_->BeginRead(*ibuf);
     uint32_t blk = *ibuf->At<uint32_t>(idx * sizeof(uint32_t));
     if (blk != 0 || !alloc) {
@@ -482,6 +523,9 @@ Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn,
     }
   }
   BufRef dbuf = co_await cache_->Bread(ip.d.double_indirect);
+  if (dbuf == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   co_await cache_->BeginRead(*dbuf);
   uint32_t l1 = idx / kPtrsPerBlock;
   uint32_t l2 = idx % kPtrsPerBlock;
@@ -500,6 +544,9 @@ Task<Result<uint32_t>> FileSystem::BlockMap(Proc& proc, Inode& ip, uint32_t lbn,
     mid = *dbuf->At<uint32_t>(l1 * sizeof(uint32_t));
   }
   BufRef mbuf = co_await cache_->Bread(mid);
+  if (mbuf == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   co_await cache_->BeginRead(*mbuf);
   uint32_t blk = *mbuf->At<uint32_t>(l2 * sizeof(uint32_t));
   if (blk != 0 || !alloc) {
@@ -540,6 +587,12 @@ Task<FsStatus> FileSystem::TruncateLocked(Proc& proc, Inode& ip, uint64_t new_si
   uint32_t indirect_limit = kNumDirect + kPtrsPerBlock;
   if (ip.d.indirect != 0 && keep_blocks < indirect_limit) {
     BufRef ibuf = co_await cache_->Bread(ip.d.indirect);
+    if (ibuf == nullptr) {
+      // Cannot walk the tree: leak those blocks (fsck repairs) rather
+      // than free blindly. Direct pointers already reset stay reset.
+      NoteIoError();
+      co_return FsStatus::kIoError;
+    }
     co_await cache_->BeginRead(*ibuf);
     uint32_t first = keep_blocks > kNumDirect ? keep_blocks - kNumDirect : 0;
     co_await cache_->BeginUpdate(*ibuf);
@@ -562,6 +615,10 @@ Task<FsStatus> FileSystem::TruncateLocked(Proc& proc, Inode& ip, uint64_t new_si
   // Double indirect tree (all-or-nothing beyond the single range).
   if (ip.d.double_indirect != 0 && keep_blocks < indirect_limit + kPtrsPerBlock * kPtrsPerBlock) {
     BufRef dbuf = co_await cache_->Bread(ip.d.double_indirect);
+    if (dbuf == nullptr) {
+      NoteIoError();
+      co_return FsStatus::kIoError;
+    }
     co_await cache_->BeginRead(*dbuf);
     uint64_t keep_in_double =
         keep_blocks > indirect_limit ? keep_blocks - indirect_limit : 0;
@@ -573,6 +630,11 @@ Task<FsStatus> FileSystem::TruncateLocked(Proc& proc, Inode& ip, uint64_t new_si
       }
       uint64_t sub_first_lbn = static_cast<uint64_t>(l1) * kPtrsPerBlock;
       BufRef mbuf = co_await cache_->Bread(*mid_slot);
+      if (mbuf == nullptr) {
+        // Leak this subtree; fsck repairs the leaked blocks.
+        NoteIoError();
+        continue;
+      }
       co_await cache_->BeginRead(*mbuf);
       co_await cache_->BeginUpdate(*mbuf);
       bool sub_empty = true;
@@ -615,6 +677,11 @@ Task<FsStatus> FileSystem::TruncateLocked(Proc& proc, Inode& ip, uint64_t new_si
 
 Task<void> FileSystem::ReleaseLink(Proc& proc, uint32_t ino) {
   InodeRef ip = co_await Iget(proc, ino);
+  if (ip == nullptr) {
+    // Cannot load the inode: the link count stays high (fsck repairs).
+    NoteIoError();
+    co_return;
+  }
   LockGuard guard = co_await LockGuard::Acquire(&ip->lock);
   assert(ip->d.nlink > 0);
   if (ip->d.IsDir() && ip->d.nlink == 2) {

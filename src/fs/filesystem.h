@@ -163,7 +163,8 @@ class FileSystem {
   // synchronous schemes, immediately for asynchronous/delayed ones.
   Task<void> CommitBlockPointer(Proc& proc, Inode& ip, const PtrLoc& loc, uint32_t blkno);
 
-  // In-core inode lookup/load.
+  // In-core inode lookup/load. Returns nullptr if the inode-table block
+  // could not be read (device failure); callers surface kIoError.
   Task<InodeRef> Iget(Proc& proc, uint32_t ino);
   // Fetches only if already in-core (used by soft-updates workitems).
   InodeRef IgetCached(uint32_t ino);
@@ -178,6 +179,17 @@ class FileSystem {
 
   FsOpStats op_stats() const;  // Snapshot of the fs.* counters.
   StatsRegistry* stats() const { return stats_; }
+
+  // Records an unrecoverable device I/O error noticed by a policy, the
+  // journal, or an internal fire-and-forget path (e.g. a bitmap free
+  // that could not read its bitmap block). Sticky: once degraded,
+  // SyncEverything reports kIoError so callers know some state may
+  // never have reached the disk.
+  void NoteIoError() {
+    io_degraded_ = true;
+    stat_io_errors_->Inc();
+  }
+  bool io_degraded() const;
 
   // Drops clean, unpinned in-core inodes (cold-cache simulation).
   void DropCleanInodes();
@@ -235,6 +247,7 @@ class FileSystem {
   OrderingPolicy* policy_ = nullptr;
   SuperBlock sb_;
   bool mounted_ = false;
+  bool io_degraded_ = false;  // Some metadata may never have hit disk.
 
   std::unordered_map<uint32_t, InodeRef> inode_cache_;
   Mutex alloc_lock_;  // Serializes bitmap allocation decisions.
@@ -256,6 +269,7 @@ class FileSystem {
   Counter* stat_writes_ = nullptr;
   Counter* stat_blocks_allocated_ = nullptr;
   Counter* stat_blocks_freed_ = nullptr;
+  Counter* stat_io_errors_ = nullptr;
 };
 
 }  // namespace mufs

@@ -61,6 +61,9 @@ Task<Result<FileSystem::ParentLookup>> FileSystem::LookupParent(Proc& proc,
     co_return FsStatus::kInvalid;  // Root has no parent entry.
   }
   InodeRef dir = co_await Iget(proc, kRootIno);
+  if (dir == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   auto& comps = parts.value().components;
   for (size_t i = 0; i + 1 < comps.size(); ++i) {
     co_await Charge(proc, config_.costs.name_component);
@@ -72,6 +75,9 @@ Task<Result<FileSystem::ParentLookup>> FileSystem::LookupParent(Proc& proc,
       co_return next.status();
     }
     dir = co_await Iget(proc, next.value());
+    if (dir == nullptr) {
+      co_return FsStatus::kIoError;
+    }
   }
   if (!dir->d.IsDir()) {
     co_return FsStatus::kNotDirectory;
@@ -97,6 +103,9 @@ Task<Result<FileSystem::EntryLoc>> FileSystem::FindEntry(Proc& proc, Inode& dir,
       continue;
     }
     BufRef buf = co_await cache_->Bread(blk.value());
+    if (buf == nullptr) {
+      co_return FsStatus::kIoError;
+    }
     co_await cache_->BeginRead(*buf);
     for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
       const DirEntry* de = buf->At<DirEntry>(e * kDirEntrySize);
@@ -119,6 +128,9 @@ Task<Result<FileSystem::EntryLoc>> FileSystem::AddEntry(Proc& proc, Inode& dir,
       continue;
     }
     BufRef buf = co_await cache_->Bread(blk.value());
+    if (buf == nullptr) {
+      co_return FsStatus::kIoError;
+    }
     co_await cache_->BeginRead(*buf);
     for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
       if (buf->At<DirEntry>(e * kDirEntrySize)->ino == 0 &&
@@ -142,6 +154,9 @@ Task<Result<FileSystem::EntryLoc>> FileSystem::AddEntry(Proc& proc, Inode& dir,
   dir.d.mtime = NowSeconds();
   co_await MarkInodeDirty(proc, dir);
   BufRef buf = co_await cache_->Bread(blk.value());
+  if (buf == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   co_await cache_->BeginUpdate(*buf);
   DirEntry* de = buf->At<DirEntry>(0);
   de->ino = ino;
@@ -159,6 +174,9 @@ Task<Result<bool>> FileSystem::DirIsEmpty(Proc& proc, Inode& dir) {
       continue;
     }
     BufRef buf = co_await cache_->Bread(blk.value());
+    if (buf == nullptr) {
+      co_return FsStatus::kIoError;
+    }
     co_await cache_->BeginRead(*buf);
     for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
       if (buf->At<DirEntry>(e * kDirEntrySize)->ino != 0) {
@@ -196,6 +214,9 @@ Task<Result<uint32_t>> FileSystem::Create(Proc& proc, const std::string& path) {
 
   // Build the new in-core inode over the on-disk slot (generation bumps).
   BufRef itable = co_await cache_->Bread(sb_.ItableBlock(ino.value()));
+  if (itable == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   auto ip = std::make_shared<Inode>(engine_, ino.value());
   const DiskInode* old = itable->At<DiskInode>(sb_.ItableOffset(ino.value()));
   ip->d.generation = old->generation + 1;
@@ -242,6 +263,9 @@ Task<FsStatus> FileSystem::Mkdir(Proc& proc, const std::string& path) {
   }
 
   BufRef itable = co_await cache_->Bread(sb_.ItableBlock(ino.value()));
+  if (itable == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   auto ip = std::make_shared<Inode>(engine_, ino.value());
   const DiskInode* old = itable->At<DiskInode>(sb_.ItableOffset(ino.value()));
   ip->d.generation = old->generation + 1;
@@ -289,6 +313,9 @@ Task<FsStatus> FileSystem::Link(Proc& proc, const std::string& existing,
     co_return FsStatus::kExists;
   }
   InodeRef ip = co_await Iget(proc, target.value());
+  if (ip == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   if (ip->d.IsDir()) {
     co_return FsStatus::kIsDirectory;
   }
@@ -323,6 +350,9 @@ Task<FsStatus> FileSystem::Unlink(Proc& proc, const std::string& path) {
     co_return loc.status();
   }
   InodeRef ip = co_await Iget(proc, loc.value().ino);
+  if (ip == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   if (ip->d.IsDir()) {
     co_return FsStatus::kIsDirectory;
   }
@@ -358,6 +388,9 @@ Task<FsStatus> FileSystem::Rmdir(Proc& proc, const std::string& path) {
     co_return loc.status();
   }
   InodeRef child = co_await Iget(proc, loc.value().ino);
+  if (child == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   if (!child->d.IsDir()) {
     co_return FsStatus::kNotDirectory;
   }
@@ -428,6 +461,9 @@ Task<FsStatus> FileSystem::Rename(Proc& proc, const std::string& from, const std
     co_return FsStatus::kExists;  // Replacement is not supported.
   }
   InodeRef ip = co_await Iget(proc, src.value().ino);
+  if (ip == nullptr) {
+    co_return FsStatus::kIoError;
+  }
 
   // Rule 1 discipline, mirroring BSD: bump nlink so a crash between the
   // two entry writes leaves the count >= the number of on-disk entries.
@@ -502,6 +538,9 @@ Task<Result<StatInfo>> FileSystem::Stat(Proc& proc, const std::string& path) {
 
 Task<Result<StatInfo>> FileSystem::StatIno(Proc& proc, uint32_t ino) {
   InodeRef ip = co_await Iget(proc, ino);
+  if (ip == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   co_return StatInfo{ip->ino, ip->d.Type(), ip->d.nlink, ip->d.size, ip->d.generation};
 }
 
@@ -514,6 +553,9 @@ Task<Result<std::vector<DirEntryInfo>>> FileSystem::ReadDir(Proc& proc,
     co_return ino.status();
   }
   InodeRef dir = co_await Iget(proc, ino.value());
+  if (dir == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   if (!dir->d.IsDir()) {
     co_return FsStatus::kNotDirectory;
   }
@@ -526,6 +568,9 @@ Task<Result<std::vector<DirEntryInfo>>> FileSystem::ReadDir(Proc& proc,
       continue;
     }
     BufRef buf = co_await cache_->Bread(blk.value());
+    if (buf == nullptr) {
+      co_return FsStatus::kIoError;
+    }
     co_await cache_->BeginRead(*buf);
     for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
       const DirEntry* de = buf->At<DirEntry>(e * kDirEntrySize);
@@ -551,6 +596,9 @@ Task<Result<uint64_t>> FileSystem::WriteFile(Proc& proc, uint32_t ino, uint64_t 
                             config_.costs.per_kb_io *
                                 static_cast<SimDuration>((data.size() + 1023) / 1024));
   InodeRef ip = co_await Iget(proc, ino);
+  if (ip == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   LockGuard guard = co_await LockGuard::Acquire(&ip->lock);
   if (ip->d.IsDir()) {
     co_return FsStatus::kIsDirectory;
@@ -578,6 +626,9 @@ Task<Result<uint64_t>> FileSystem::WriteFile(Proc& proc, uint32_t ino, uint64_t 
     } else {
       buf = co_await cache_->Bread(blk.value());
     }
+    if (buf == nullptr) {
+      co_return FsStatus::kIoError;
+    }
     co_await cache_->BeginUpdate(*buf);
     memcpy(buf->data().data() + in_block, data.data() + written, chunk);
     cache_->MarkDirty(*buf);
@@ -596,6 +647,9 @@ Task<Result<uint64_t>> FileSystem::ReadFile(Proc& proc, uint32_t ino, uint64_t o
   ++proc.fs_calls;
   stat_reads_->Inc();
   InodeRef ip = co_await Iget(proc, ino);
+  if (ip == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   if (ip->d.IsDir()) {
     co_return FsStatus::kIsDirectory;
   }
@@ -620,6 +674,9 @@ Task<Result<uint64_t>> FileSystem::ReadFile(Proc& proc, uint32_t ino, uint64_t o
       memset(out.data() + done, 0, chunk);  // Hole.
     } else {
       BufRef buf = co_await cache_->Bread(blk.value());
+      if (buf == nullptr) {
+        co_return FsStatus::kIoError;
+      }
       co_await cache_->BeginRead(*buf);
       memcpy(out.data() + done, buf->data().data() + in_block, chunk);
     }
@@ -634,6 +691,9 @@ Task<FsStatus> FileSystem::Truncate(Proc& proc, uint32_t ino, uint64_t new_size)
   OpGuard op(policy_);
   co_await Charge(proc, config_.costs.syscall);
   InodeRef ip = co_await Iget(proc, ino);
+  if (ip == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   LockGuard guard = co_await LockGuard::Acquire(&ip->lock);
   co_return co_await TruncateLocked(proc, *ip, new_size);
 }
@@ -646,6 +706,9 @@ Task<FsStatus> FileSystem::Fsync(Proc& proc, uint32_t ino) {
   ++proc.fs_calls;
   co_await Charge(proc, config_.costs.syscall);
   InodeRef ip = co_await Iget(proc, ino);
+  if (ip == nullptr) {
+    co_return FsStatus::kIoError;
+  }
   co_await FlushInodeToBuffer(*ip);
   cache_->MarkDirty(*ip->itable_buf);
   co_await policy_->FlushAll(proc);
@@ -655,7 +718,10 @@ Task<FsStatus> FileSystem::Fsync(Proc& proc, uint32_t ino) {
 Task<FsStatus> FileSystem::SyncEverything(Proc& proc) {
   ++proc.fs_calls;
   co_await policy_->FlushAll(proc);
-  co_return FsStatus::kOk;
+  // Buffers whose final write failed terminally stay in the cache (dirty,
+  // write_failed) and are excluded from flush passes; report them here so
+  // callers learn the image is degraded rather than silently "clean".
+  co_return io_degraded() ? FsStatus::kIoError : FsStatus::kOk;
 }
 
 }  // namespace mufs

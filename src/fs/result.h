@@ -21,6 +21,7 @@ enum class FsStatus {
   kNameTooLong,    // Component longer than kMaxNameLen.
   kInvalid,        // Bad argument (offset, empty name, "." / ".." misuse).
   kBusy,           // Removing an in-use resource (e.g. rename dir into itself).
+  kIoError,        // Device I/O failed terminally (retries exhausted).
 };
 
 inline std::string_view ToString(FsStatus s) {
@@ -45,6 +46,8 @@ inline std::string_view ToString(FsStatus s) {
       return "invalid argument";
     case FsStatus::kBusy:
       return "resource busy";
+    case FsStatus::kIoError:
+      return "I/O error";
   }
   return "unknown";
 }

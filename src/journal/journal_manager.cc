@@ -27,6 +27,7 @@ JournalManager::JournalManager(Engine* engine, DiskDriver* driver, BufferCache* 
   stat_checkpoint_stalls_ = &stats_->counter("journal.checkpoint_stalls");
   stat_forced_commits_ = &stats_->counter("journal.forced_commits");
   stat_reuse_skips_ = &stats_->counter("journal.reuse_skips");
+  stat_commit_failures_ = &stats_->counter("journal.commit_failures");
 }
 
 Task<void> JournalManager::Start() {
@@ -213,21 +214,59 @@ Task<void> JournalManager::CommitOnce() {
     }
     idx += run;
   }
+  bool log_ok = true;
   for (uint64_t id : ids) {
-    co_await driver_->WaitFor(id);
+    IoStatus ws = co_await driver_->WaitFor(id);
+    if (ws != IoStatus::kOk) {
+      log_ok = false;
+    }
   }
-  auto cblk = std::make_shared<BlockData>();
-  cblk->fill(0);
-  JournalCommitRecord cr;
-  cr.h.kind = static_cast<uint32_t>(JournalRecordKind::kCommit);
-  cr.h.seq = seq;
-  cr.h.count = payloads;
-  cr.checksum = checksum;
-  std::memcpy(cblk->data(), &cr, sizeof(cr));
-  const uint64_t cid = driver_->IssueWrite(LogBlock(head_), {cblk});
-  head_ = (head_ + 1) % usable_;
-  co_await driver_->WaitFor(cid);
-  used_ += needed;
+  // The commit record only goes out over an intact descriptor/payload run;
+  // a torn run without it is exactly what recovery discards.
+  if (log_ok) {
+    auto cblk = std::make_shared<BlockData>();
+    cblk->fill(0);
+    JournalCommitRecord cr;
+    cr.h.kind = static_cast<uint32_t>(JournalRecordKind::kCommit);
+    cr.h.seq = seq;
+    cr.h.count = payloads;
+    cr.checksum = checksum;
+    std::memcpy(cblk->data(), &cr, sizeof(cr));
+    const uint64_t cid = driver_->IssueWrite(LogBlock(head_), {cblk});
+    head_ = (head_ + 1) % usable_;
+    IoStatus cs = co_await driver_->WaitFor(cid);
+    if (cs != IoStatus::kOk) {
+      log_ok = false;
+    }
+  } else {
+    head_ = (head_ + 1) % usable_;  // The reserved commit-record slot.
+  }
+  used_ += needed;  // Slots are consumed even by an aborted transaction.
+  if (!log_ok) {
+    // Aborted commit: the seq is burned (replay finds no valid commit
+    // record and discards the tail), so fold everything back into the
+    // open transaction for the next attempt. emplace keeps any capture
+    // made after the steal (newer wins).
+    stat_commit_failures_->Inc();
+    if (fs_ != nullptr) {
+      fs_->NoteIoError();
+    }
+    for (auto& [blkno, img] : txn) {
+      open_captures_.emplace(blkno, std::move(img));
+    }
+    for (auto& [blkno, buf] : pins) {
+      open_pins_.emplace(blkno, std::move(buf));
+    }
+    for (uint32_t b : freed) {
+      gated_freed_.erase(b);
+      if (open_freed_set_.insert(b).second) {
+        open_freed_.push_back(b);
+      }
+    }
+    commit_requested_ = true;  // Retry promptly.
+    guard.Release();
+    co_return;
+  }
   stat_txns_->Inc();
   stat_blocks_logged_->Inc(payloads);
   stat_log_writes_->Inc(needed);
@@ -252,11 +291,20 @@ Task<void> JournalManager::Checkpoint(uint64_t upcoming_seq) {
   // wait for the disk to quiesce, then declare the ring empty from here.
   co_await cache_->SyncAll();
   co_await driver_->Drain();
-  co_await WriteJsb(upcoming_seq, head_);
+  IoStatus js = co_await WriteJsb(upcoming_seq, head_);
+  if (js != IoStatus::kOk) {
+    // The old horizon persists; the ring is NOT reclaimed (used_ keeps its
+    // value) so no live record can be overwritten under a stale jsb.
+    stat_commit_failures_->Inc();
+    if (fs_ != nullptr) {
+      fs_->NoteIoError();
+    }
+    co_return;
+  }
   used_ = 0;
 }
 
-Task<void> JournalManager::WriteJsb(uint64_t start_seq, uint32_t start_offset) {
+Task<IoStatus> JournalManager::WriteJsb(uint64_t start_seq, uint32_t start_offset) {
   auto blk = std::make_shared<BlockData>();
   blk->fill(0);
   JournalSuperBlock jsb;
@@ -265,7 +313,8 @@ Task<void> JournalManager::WriteJsb(uint64_t start_seq, uint32_t start_offset) {
   jsb.start_offset = start_offset;
   std::memcpy(blk->data(), &jsb, sizeof(jsb));
   const uint64_t id = driver_->IssueWrite(jsb_blkno_, {blk});
-  co_await driver_->WaitFor(id);
+  IoStatus ws = co_await driver_->WaitFor(id);
+  co_return ws;
 }
 
 }  // namespace mufs

@@ -91,7 +91,7 @@ class JournalManager {
   // Flushes all committed state in place (substituted writes), then
   // restarts the ring empty so `upcoming_seq` has the whole log.
   Task<void> Checkpoint(uint64_t upcoming_seq);
-  Task<void> WriteJsb(uint64_t start_seq, uint32_t start_offset);
+  Task<IoStatus> WriteJsb(uint64_t start_seq, uint32_t start_offset);
   uint32_t LogBlock(uint32_t offset) const { return log_first_ + offset; }
 
   Engine* engine_;
@@ -139,6 +139,7 @@ class JournalManager {
   Counter* stat_checkpoint_stalls_ = nullptr;
   Counter* stat_forced_commits_ = nullptr;
   Counter* stat_reuse_skips_ = nullptr;
+  Counter* stat_commit_failures_ = nullptr;
 };
 
 }  // namespace mufs

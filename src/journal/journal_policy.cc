@@ -24,6 +24,10 @@ void JournalPolicy::NoteInodeUpdate(Proc& proc, Inode& ip) {
 
 Task<void> JournalPolicy::CaptureBitmapBlock(uint32_t region_start, uint32_t index) {
   BufRef bm = co_await fs()->cache()->Bread(region_start + index / kBitsPerBlock);
+  if (bm == nullptr) {
+    fs()->NoteIoError();  // Bitmap unreadable; the delta misses this commit.
+    co_return;
+  }
   jm_->Capture(bm);
 }
 
@@ -40,8 +44,11 @@ Task<void> JournalPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf
     DiskDriver* driver = fs()->cache()->driver();
     uint64_t id = driver->IssueWrite(data_buf->blkno(), {fs()->cache()->ZeroBlock()});
     SimTime t0 = fs()->engine()->Now();
-    co_await driver->WaitFor(id);
+    IoStatus init_status = co_await driver->WaitFor(id);
     proc.io_wait += fs()->engine()->Now() - t0;
+    if (init_status != IoStatus::kOk) {
+      fs()->NoteIoError();  // Stale data may be visible through the new file.
+    }
   }
   co_await fs()->CommitBlockPointer(proc, ip, loc, data_buf->blkno());
   if (loc.kind == PtrLoc::Kind::kIndirectSlot) {

@@ -100,7 +100,7 @@ TEST(DriverBasicTest, WaitForCompletedRequestReturnsImmediately) {
 TEST(DriverBasicTest, IsrRunsAtCompletion) {
   Rig rig;
   int calls = 0;
-  rig.driver->IssueWrite(40, {MakeBlock(1)}, {}, [&] { ++calls; });
+  rig.driver->IssueWrite(40, {MakeBlock(1)}, {}, [&](IoStatus) { ++calls; });
   rig.engine.Run();
   EXPECT_EQ(calls, 1);
 }

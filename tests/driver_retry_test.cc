@@ -1,0 +1,249 @@
+// Driver error-path tests: scripted fault injection, bounded exponential
+// backoff, stall timeouts, bad-sector remapping into the spare pool, and
+// preservation of the scheduling disciplines across re-issued requests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/disk/disk_image.h"
+#include "src/disk/disk_model.h"
+#include "src/driver/disk_driver.h"
+#include "src/fault/fault_injector.h"
+#include "src/sim/engine.h"
+
+namespace mufs {
+namespace {
+
+std::shared_ptr<const BlockData> MakeBlock(uint8_t fill) {
+  auto b = std::make_shared<BlockData>();
+  b->fill(fill);
+  return b;
+}
+
+// Engine + model + image + injector + driver wired together. The injector
+// is declared before the driver so it outlives it.
+struct FaultRig {
+  explicit FaultRig(FaultConfig fault_cfg = {}, DriverConfig cfg = {})
+      : model(DiskGeometry{}),
+        image(DiskGeometry{}.total_blocks),
+        faults(fault_cfg) {
+    cfg.faults = &faults;
+    driver = std::make_unique<DiskDriver>(&engine, &model, &image, cfg);
+  }
+  Engine engine;
+  DiskModel model;
+  DiskImage image;
+  FaultInjector faults;
+  std::unique_ptr<DiskDriver> driver;
+
+  uint64_t Write(uint32_t blk, uint8_t fill, OrderingTag tag = {}) {
+    return driver->IssueWrite(blk, {MakeBlock(fill)}, tag);
+  }
+  uint64_t Counter(const char* name) { return driver->stats()->counter(name).value(); }
+};
+
+// Runs `body(rig)` as a coroutine to completion and returns the terminal
+// status of request `id` plus the simulated time WaitFor took.
+struct WaitResult {
+  IoStatus status = IoStatus::kOk;
+  SimDuration elapsed = 0;
+};
+
+WaitResult WaitOn(FaultRig* rig, uint64_t id) {
+  WaitResult out;
+  bool done = false;
+  auto body = [](FaultRig* rig, uint64_t id, WaitResult* out, bool* done) -> Task<void> {
+    SimTime t0 = rig->engine.Now();
+    out->status = co_await rig->driver->WaitFor(id);
+    out->elapsed = rig->engine.Now() - t0;
+    *done = true;
+  };
+  rig->engine.Spawn(body(rig, id, &out, &done), "waiter");
+  rig->engine.Run();
+  EXPECT_TRUE(done);
+  return out;
+}
+
+TEST(DriverRetryTest, TransientErrorRetriesThenSucceeds) {
+  FaultRig rig;
+  rig.faults.Script({FaultKind::kTransient, FaultKind::kNone});
+  uint64_t id = rig.Write(30, 0xab);
+  WaitResult w = WaitOn(&rig, id);
+  EXPECT_EQ(w.status, IoStatus::kOk);
+  EXPECT_EQ(rig.Counter("driver.retries"), 1u);
+  EXPECT_EQ(rig.Counter("driver.gave_up"), 0u);
+  BlockData d;
+  rig.image.Read(30, &d);
+  EXPECT_EQ(d[0], 0xab);
+  ASSERT_EQ(rig.driver->Traces().size(), 1u);
+  EXPECT_EQ(rig.driver->Traces()[0].retries, 1u);
+  EXPECT_EQ(rig.driver->Traces()[0].status, IoStatus::kOk);
+}
+
+TEST(DriverRetryTest, ExponentialBackoffIsBoundedByCap) {
+  DriverConfig cfg;
+  cfg.retry_backoff = Msec(20);
+  cfg.retry_backoff_cap = Msec(40);
+  FaultRig rig({}, cfg);
+  // Six failed attempts: backoffs 20, 40, 40, 40, 40, 40 ms (capped), then
+  // the seventh attempt succeeds.
+  rig.faults.Script({FaultKind::kTransient, FaultKind::kTransient, FaultKind::kTransient,
+                     FaultKind::kTransient, FaultKind::kTransient, FaultKind::kTransient,
+                     FaultKind::kNone});
+  uint64_t id = rig.Write(40, 0x11);
+  WaitResult w = WaitOn(&rig, id);
+  EXPECT_EQ(w.status, IoStatus::kOk);
+  EXPECT_EQ(rig.Counter("driver.retries"), 6u);
+  // At least the capped backoff total (220 ms); seven access times add at
+  // most ~100 ms more. The uncapped series would be 1260 ms of backoff.
+  EXPECT_GE(w.elapsed, Msec(220));
+  EXPECT_LT(w.elapsed, Msec(320));
+}
+
+TEST(DriverRetryTest, StallTimesOutAndReissues) {
+  FaultRig rig;
+  rig.faults.Script({FaultKind::kStall, FaultKind::kNone});
+  uint64_t id = rig.Write(50, 0x22);
+  WaitResult w = WaitOn(&rig, id);
+  EXPECT_EQ(w.status, IoStatus::kOk);
+  EXPECT_EQ(rig.Counter("driver.timeouts"), 1u);
+  EXPECT_EQ(rig.Counter("driver.retries"), 1u);
+  // The full timeout elapsed before the re-issue.
+  EXPECT_GE(w.elapsed, rig.driver->config().request_timeout);
+  BlockData d;
+  rig.image.Read(50, &d);
+  EXPECT_EQ(d[0], 0x22);
+}
+
+TEST(DriverRetryTest, BadSectorIsRemappedIntoSparePool) {
+  FaultRig rig;
+  rig.faults.MarkBadSector(60);
+  uint64_t id = rig.Write(60, 0x33);
+  WaitResult w = WaitOn(&rig, id);
+  // Two bad-sector failures, then the remap makes the third attempt work.
+  EXPECT_EQ(w.status, IoStatus::kOk);
+  EXPECT_EQ(rig.Counter("driver.remaps"), 1u);
+  EXPECT_EQ(rig.Counter("driver.gave_up"), 0u);
+  EXPECT_EQ(rig.driver->SparesUsed(), 1u);
+  EXPECT_FALSE(rig.faults.IsBad(60));
+  BlockData d;
+  rig.image.Read(60, &d);
+  EXPECT_EQ(d[0], 0x33);
+}
+
+TEST(DriverRetryTest, SparePoolExhaustionFailsTheRequest) {
+  DriverConfig cfg;
+  cfg.spare_blocks = 0;  // Nothing to remap into.
+  cfg.max_retries = 3;
+  FaultRig rig({}, cfg);
+  BlockData before;
+  before.fill(0x44);
+  rig.image.Write(70, before, 0);
+  rig.faults.MarkBadSector(70);
+  uint64_t id = rig.Write(70, 0x55);
+  WaitResult w = WaitOn(&rig, id);
+  EXPECT_EQ(w.status, IoStatus::kFailed);
+  EXPECT_EQ(rig.Counter("driver.gave_up"), 1u);
+  EXPECT_EQ(rig.Counter("driver.remaps"), 0u);
+  EXPECT_TRUE(rig.faults.IsBad(70));
+  // A failed write never reaches the medium.
+  BlockData after;
+  rig.image.Read(70, &after);
+  EXPECT_EQ(after[0], 0x44);
+}
+
+TEST(DriverRetryTest, FailedReadLeavesDestinationUntouched) {
+  DriverConfig cfg;
+  cfg.max_retries = 2;
+  FaultRig rig({}, cfg);
+  BlockData src;
+  src.fill(0x77);
+  rig.image.Write(80, src, 0);
+  rig.faults.Script({FaultKind::kTransient, FaultKind::kTransient, FaultKind::kTransient});
+  BlockData out;
+  out.fill(0xee);
+  uint64_t id = rig.driver->IssueRead(80, &out);
+  WaitResult w = WaitOn(&rig, id);
+  EXPECT_EQ(w.status, IoStatus::kFailed);
+  EXPECT_EQ(out[0], 0xee);
+}
+
+TEST(DriverRetryTest, IsrReceivesFailureStatus) {
+  DriverConfig cfg;
+  cfg.max_retries = 0;
+  FaultRig rig({}, cfg);
+  rig.faults.Script({FaultKind::kTransient});
+  IoStatus seen = IoStatus::kOk;
+  rig.driver->IssueWrite(90, {MakeBlock(1)}, {}, [&](IoStatus s) { seen = s; });
+  rig.engine.Run();
+  EXPECT_EQ(seen, IoStatus::kFailed);
+}
+
+TEST(DriverRetryTest, CLookOrderSurvivesARetriedRequest) {
+  FaultRig rig;
+  // The first serviced request (lowest block from the scan origin) fails
+  // once; C-LOOK must still service ascending with no reordering.
+  rig.faults.Script({FaultKind::kTransient});
+  rig.Write(500, 1);
+  rig.Write(300, 2);
+  rig.Write(700, 3);
+  rig.Write(100, 4);
+  rig.engine.Run();
+  std::vector<uint32_t> order;
+  uint32_t total_retries = 0;
+  for (const auto& t : rig.driver->Traces()) {
+    order.push_back(t.blkno);
+    total_retries += t.retries;
+    EXPECT_EQ(t.status, IoStatus::kOk);
+  }
+  EXPECT_EQ(order, (std::vector<uint32_t>{100, 300, 500, 700}));
+  EXPECT_EQ(total_retries, 1u);
+}
+
+TEST(DriverRetryTest, ConcatenatedRequestRetriesAsAWhole) {
+  FaultRig rig;
+  rig.faults.Script({FaultKind::kTransient, FaultKind::kNone});
+  uint64_t a = rig.Write(200, 0x01);
+  uint64_t b = rig.Write(201, 0x02);  // Merged into the previous request.
+  rig.engine.Run();
+  ASSERT_EQ(rig.driver->Traces().size(), 1u);
+  EXPECT_EQ(rig.driver->Traces()[0].count, 2u);
+  EXPECT_EQ(rig.driver->Traces()[0].retries, 1u);
+  EXPECT_EQ(rig.driver->CompletionStatus(a), IoStatus::kOk);
+  EXPECT_EQ(rig.driver->CompletionStatus(b), IoStatus::kOk);
+  BlockData d;
+  rig.image.Read(200, &d);
+  EXPECT_EQ(d[0], 0x01);
+  rig.image.Read(201, &d);
+  EXPECT_EQ(d[0], 0x02);
+}
+
+TEST(DriverRetryTest, SameSeedProducesIdenticalFaultSchedules) {
+  auto run = [](std::vector<RequestTrace>* traces, uint64_t* retries) {
+    FaultConfig fc = FaultConfig::Uniform(0.2, 99);
+    FaultRig rig(fc);
+    for (uint32_t i = 0; i < 40; ++i) {
+      rig.Write(100 + i * 7, static_cast<uint8_t>(i));
+    }
+    rig.engine.Run();
+    *traces = rig.driver->Traces();
+    *retries = rig.Counter("driver.retries");
+  };
+  std::vector<RequestTrace> t1, t2;
+  uint64_t r1 = 0, r2 = 0;
+  run(&t1, &r1);
+  run(&t2, &r2);
+  EXPECT_GT(r1, 0u);  // At 20% the schedule is certainly non-trivial.
+  EXPECT_EQ(r1, r2);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].blkno, t2[i].blkno);
+    EXPECT_EQ(t1[i].retries, t2[i].retries);
+    EXPECT_EQ(t1[i].status, t2[i].status);
+    EXPECT_EQ(t1[i].complete_time, t2[i].complete_time);
+  }
+}
+
+}  // namespace
+}  // namespace mufs

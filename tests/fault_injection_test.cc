@@ -1,0 +1,89 @@
+// Scheme sweep under disk fault injection (tier 1): every ordering scheme
+// must complete the populate/copy/remove workload — or fail cleanly with
+// kIoError — at low fault rates, with no request abandoned by the driver
+// and no unrepairable damage on the surviving image. A dense sweep over
+// higher rates and more seeds lives in fault_sweep_test.cc (slow label).
+#include <gtest/gtest.h>
+
+#include "tests/fault_test_util.h"
+
+namespace mufs {
+namespace {
+
+const Scheme kAllSchemes[] = {Scheme::kNoOrder,         Scheme::kConventional,
+                              Scheme::kSchedulerFlag,   Scheme::kSchedulerChains,
+                              Scheme::kSoftUpdates,     Scheme::kJournaling};
+
+TEST(FaultInjectionTest, ZeroRateBehavesExactlyAsBefore) {
+  TreeSpec tree = SmallFaultTree();
+  for (Scheme s : kAllSchemes) {
+    SCOPED_TRACE(SchemeName(s));
+    FaultRunResult r = RunFaultWorkload(s, 0, 1, tree);
+    EXPECT_EQ(r.populate, FsStatus::kOk);
+    EXPECT_EQ(r.copy, FsStatus::kOk);
+    EXPECT_EQ(r.remove, FsStatus::kOk);
+    EXPECT_EQ(r.injected, 0u);
+    EXPECT_EQ(r.retries, 0u);
+    EXPECT_EQ(r.gave_up, 0u);
+    EXPECT_TRUE(r.fsck_clean) << r.fsck_detail;
+  }
+}
+
+TEST(FaultInjectionTest, AllSchemesCompleteOrFailCleanlyUnderFaults) {
+  TreeSpec tree = SmallFaultTree();
+  for (Scheme s : kAllSchemes) {
+    for (double rate : {1e-4, 1e-3}) {
+      SCOPED_TRACE(std::string(SchemeName(s)) + " rate=" + std::to_string(rate));
+      FaultRunResult r = RunFaultWorkload(s, rate, 1, tree);
+      EXPECT_TRUE(CompleteOrCleanFail(r.populate)) << static_cast<int>(r.populate);
+      EXPECT_TRUE(CompleteOrCleanFail(r.copy)) << static_cast<int>(r.copy);
+      EXPECT_TRUE(CompleteOrCleanFail(r.remove)) << static_cast<int>(r.remove);
+      // The retry/remap path must absorb every fault at these rates.
+      EXPECT_EQ(r.gave_up, 0u);
+      // Whatever landed must audit clean, or be fully repairable.
+      EXPECT_TRUE(r.fsck_clean || r.fsck_repaired_clean) << r.fsck_detail;
+    }
+  }
+}
+
+// The low rates above can legitimately inject zero faults on a small
+// workload (~200 requests x 1e-3). The remaining tests use a rate high
+// enough that faults certainly occur, so they exercise the real paths.
+constexpr double kDenseRate = 0.02;
+
+TEST(FaultInjectionTest, FaultsAreActuallyInjectedAtTheDenseRate) {
+  TreeSpec tree = SmallFaultTree();
+  FaultRunResult r = RunFaultWorkload(Scheme::kConventional, kDenseRate, 1, tree);
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_EQ(r.gave_up, 0u);
+  EXPECT_TRUE(r.fsck_clean || r.fsck_repaired_clean) << r.fsck_detail;
+}
+
+TEST(FaultInjectionTest, SameSeedRunsAreByteIdentical) {
+  TreeSpec tree = SmallFaultTree();
+  for (Scheme s : {Scheme::kSoftUpdates, Scheme::kJournaling}) {
+    SCOPED_TRACE(SchemeName(s));
+    // Seed 1 is known to inject faults for both schemes at this rate
+    // (the sim is deterministic, so "known" is stable, not flaky).
+    FaultRunResult a = RunFaultWorkload(s, kDenseRate, 1, tree);
+    FaultRunResult b = RunFaultWorkload(s, kDenseRate, 1, tree);
+    EXPECT_GT(a.injected, 0u);  // The determinism claim is non-vacuous.
+    EXPECT_EQ(a.stats_json, b.stats_json);
+    EXPECT_EQ(a.populate, b.populate);
+    EXPECT_EQ(a.copy, b.copy);
+    EXPECT_EQ(a.remove, b.remove);
+  }
+}
+
+TEST(FaultInjectionTest, DifferentSeedsChangeTheFaultSchedule) {
+  TreeSpec tree = SmallFaultTree();
+  FaultRunResult a = RunFaultWorkload(Scheme::kConventional, kDenseRate, 1, tree);
+  FaultRunResult b = RunFaultWorkload(Scheme::kConventional, kDenseRate, 2, tree);
+  // Both valid runs; the injected-fault schedule (and hence the stats)
+  // should differ. Identical JSON would mean the seed is ignored.
+  EXPECT_NE(a.stats_json, b.stats_json);
+}
+
+}  // namespace
+}  // namespace mufs

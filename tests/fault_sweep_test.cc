@@ -1,0 +1,45 @@
+// Dense fault-injection sweep (slow label, nightly CI): every scheme x
+// rate x seed combination on a larger tree, with determinism double-runs
+// and full fsck repair audits. The fast subset runs in tier 1 as
+// fault_injection_test.cc.
+#include <gtest/gtest.h>
+
+#include "tests/fault_test_util.h"
+
+namespace mufs {
+namespace {
+
+const Scheme kAllSchemes[] = {Scheme::kNoOrder,         Scheme::kConventional,
+                              Scheme::kSchedulerFlag,   Scheme::kSchedulerChains,
+                              Scheme::kSoftUpdates,     Scheme::kJournaling};
+
+TEST(FaultSweepTest, DenseSchemeRateSeedSweep) {
+  TreeSpec tree = MediumFaultTree();
+  for (Scheme s : kAllSchemes) {
+    for (double rate : {1e-4, 1e-3}) {
+      for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        SCOPED_TRACE(std::string(SchemeName(s)) + " rate=" + std::to_string(rate) +
+                     " seed=" + std::to_string(seed));
+        FaultRunResult r = RunFaultWorkload(s, rate, seed, tree);
+        EXPECT_TRUE(CompleteOrCleanFail(r.populate)) << static_cast<int>(r.populate);
+        EXPECT_TRUE(CompleteOrCleanFail(r.copy)) << static_cast<int>(r.copy);
+        EXPECT_TRUE(CompleteOrCleanFail(r.remove)) << static_cast<int>(r.remove);
+        EXPECT_EQ(r.gave_up, 0u);
+        EXPECT_TRUE(r.fsck_clean || r.fsck_repaired_clean) << r.fsck_detail;
+      }
+    }
+  }
+}
+
+TEST(FaultSweepTest, EverySchemeIsDeterministicUnderFaults) {
+  TreeSpec tree = MediumFaultTree();
+  for (Scheme s : kAllSchemes) {
+    SCOPED_TRACE(SchemeName(s));
+    FaultRunResult a = RunFaultWorkload(s, 1e-3, 5, tree);
+    FaultRunResult b = RunFaultWorkload(s, 1e-3, 5, tree);
+    EXPECT_EQ(a.stats_json, b.stats_json);
+  }
+}
+
+}  // namespace
+}  // namespace mufs

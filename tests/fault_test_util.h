@@ -1,0 +1,95 @@
+// Shared harness for the fault-injection test battery: runs the
+// populate/copy/remove workload on one Machine under a given scheme and
+// fault rate, then audits the surviving image with fsck.
+#ifndef MUFS_TESTS_FAULT_TEST_UTIL_H_
+#define MUFS_TESTS_FAULT_TEST_UTIL_H_
+
+#include <string>
+
+#include "src/fsck/fsck.h"
+#include "src/workload/workloads.h"
+
+namespace mufs {
+
+struct FaultRunResult {
+  FsStatus populate = FsStatus::kOk;
+  FsStatus copy = FsStatus::kOk;
+  FsStatus remove = FsStatus::kOk;
+  uint64_t gave_up = 0;
+  uint64_t retries = 0;
+  uint64_t injected = 0;
+  std::string stats_json;
+  bool fsck_clean = false;         // Audit passed with no repairs needed.
+  bool fsck_repaired_clean = false;  // Repairer brought the image clean.
+  std::string fsck_detail;
+};
+
+// "Complete or fail cleanly": every op either succeeded or reported the
+// degradation as an I/O error — never a silent wrong answer.
+inline bool CompleteOrCleanFail(FsStatus s) {
+  return s == FsStatus::kOk || s == FsStatus::kIoError;
+}
+
+inline FaultRunResult RunFaultWorkload(Scheme scheme, double rate, uint64_t fault_seed,
+                                       const TreeSpec& tree) {
+  MachineConfig cfg;
+  cfg.scheme = scheme;
+  if (rate > 0) {
+    cfg.fault = FaultConfig::Uniform(rate, fault_seed);
+  }
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  FaultRunResult r;
+  bool done = false;
+  auto body = [](Machine* m, Proc* p, const TreeSpec* tree, FaultRunResult* r,
+                 bool* done) -> Task<void> {
+    co_await m->Boot(*p);
+    r->populate = co_await PopulateTree(*m, *p, *tree, "/src");
+    r->copy = co_await CopyTree(*m, *p, *tree, "/src", "/dst");
+    r->remove = co_await RemoveTree(*m, *p, *tree, "/dst");
+    co_await m->Shutdown(*p);
+    *done = true;
+  };
+  m.engine().Spawn(body(&m, &p, &tree, &r, &done), "w");
+  m.engine().RunUntil([&] { return done; });
+
+  r.gave_up = m.stats().counter("driver.gave_up").value();
+  r.retries = m.stats().counter("driver.retries").value();
+  r.injected = m.stats().counter("fault.injected").value();
+  r.stats_json = m.DumpStatsJson();
+
+  DiskImage snap = m.CrashNow();
+  FsckOptions fo;
+  FsckReport report = FsckChecker(&snap, fo).Check();
+  r.fsck_clean = report.Clean();
+  if (!r.fsck_clean) {
+    for (const auto& v : report.violations) {
+      r.fsck_detail += std::string(ToString(v.type)) + ": " + v.detail + "\n";
+    }
+    FsckRepairReport fixed = FsckRepairer(&snap, fo).Repair();
+    r.fsck_repaired_clean = fixed.clean_after;
+  }
+  return r;
+}
+
+// A small tree keeps the 18-configuration tier-1 sweep fast; the slow
+// sweep uses a larger one.
+inline TreeSpec SmallFaultTree() {
+  TreeGenOptions opts;
+  opts.file_count = 24;
+  opts.total_bytes = 240'000;
+  opts.dir_count = 5;
+  return GenerateTree(opts);
+}
+
+inline TreeSpec MediumFaultTree() {
+  TreeGenOptions opts;
+  opts.file_count = 120;
+  opts.total_bytes = 1'200'000;
+  opts.dir_count = 12;
+  return GenerateTree(opts);
+}
+
+}  // namespace mufs
+
+#endif  // MUFS_TESTS_FAULT_TEST_UTIL_H_

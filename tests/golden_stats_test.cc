@@ -1,0 +1,90 @@
+// Golden-stats regression test: the full DumpStatsJson output of a fixed
+// zero-fault workload (Conventional and Soft Updates, machine seed 42)
+// must match the checked-in JSON byte for byte. This pins the whole
+// deterministic counter surface — any unintended behaviour change in the
+// driver, cache, policies or stats layer shows up as a golden diff.
+//
+// To regenerate after an INTENTIONAL change:
+//   MUFS_REGEN_GOLDEN=1 ./golden_stats_test && git diff tests/golden/
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/workload/workloads.h"
+
+namespace mufs {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(MUFS_GOLDEN_DIR) + "/" + name;
+}
+
+bool RegenMode() {
+  const char* v = std::getenv("MUFS_REGEN_GOLDEN");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// A reduced 2-user copy workload: big enough to exercise every scheme
+// mechanism (allocation, directory growth, syncer flushes, ordering),
+// small enough to keep tier 1 fast.
+std::string RunGoldenWorkload(Scheme scheme) {
+  TreeGenOptions opts;
+  opts.file_count = 30;
+  opts.total_bytes = 300'000;
+  opts.dir_count = 6;
+  TreeSpec tree = GenerateTree(opts);
+
+  MachineConfig cfg;
+  cfg.scheme = scheme;
+  Machine m(cfg);
+  SetupFn setup = [&tree](Machine& mm, Proc& p) -> Task<void> {
+    FsStatus s = co_await PopulateTree(mm, p, tree, "/src");
+    EXPECT_EQ(s, FsStatus::kOk);
+  };
+  UserFn body = [&tree](Machine& mm, Proc& p, int u) -> Task<void> {
+    FsStatus s = co_await CopyTree(mm, p, tree, "/src", "/copy" + std::to_string(u));
+    EXPECT_EQ(s, FsStatus::kOk);
+  };
+  RunMeasurement meas = RunMultiUser(m, 2, setup, body);
+  return meas.stats_json;
+}
+
+void CheckGolden(Scheme scheme, const std::string& file) {
+  std::string actual = RunGoldenWorkload(scheme);
+  ASSERT_FALSE(actual.empty());
+  std::string path = GoldenPath(file);
+  if (RegenMode()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual << "\n";
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with MUFS_REGEN_GOLDEN=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string expected = buf.str();
+  // Trailing newline is part of the file, not the JSON.
+  if (!expected.empty() && expected.back() == '\n') {
+    expected.pop_back();
+  }
+  EXPECT_EQ(actual, expected)
+      << "golden stats drifted for " << SchemeName(scheme)
+      << "; if the change is intentional, regenerate with MUFS_REGEN_GOLDEN=1";
+}
+
+TEST(GoldenStatsTest, ConventionalCopyStatsMatchGolden) {
+  CheckGolden(Scheme::kConventional, "conventional_copy_seed42.json");
+}
+
+TEST(GoldenStatsTest, SoftUpdatesCopyStatsMatchGolden) {
+  CheckGolden(Scheme::kSoftUpdates, "soft_updates_copy_seed42.json");
+}
+
+}  // namespace
+}  // namespace mufs
