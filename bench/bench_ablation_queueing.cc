@@ -1,0 +1,60 @@
+// Device command-queueing ablation: tagged queueing (dispatch-until-full,
+// device-side RPO picks, ordered tags at scheme ordering boundaries) vs
+// the paper's substrate (depth 1, no queueing), swept over queue depth
+// {1, 4, 16} for every scheme on the multi-user remove workload.
+//
+// Expected shape: queueing shrinks the scheduler schemes' ordering
+// penalty (the device sees past a barrier's neighbours and picks by
+// rotational position instead of C-LOOK), while soft updates and No
+// Order - which never constrain the driver - gain only the RPO-vs-C-LOOK
+// difference and stay near each other.
+#include "bench/bench_common.h"
+
+namespace mufs {
+namespace {
+
+int Main(const BenchArgs& args) {
+  const int users = args.users;
+  const std::vector<uint32_t> depths = {1, 4, 16};
+  TreeSpec tree = GenerateTree();
+  printf("Command-queueing ablation: queue depth sweep, %d-user remove\n", users);
+  PrintRule(78);
+  printf("%-18s", "Scheme");
+  for (uint32_t d : depths) {
+    printf(" %9s%-2u", "qd=", d);
+  }
+  printf(" %12s\n", "qd16 vs qd1");
+  PrintRule(78);
+  StatsSidecar sidecar("bench_ablation_queueing", args.stats_out);
+  for (Scheme scheme : AllSchemes()) {
+    printf("%-18s", std::string(SchemeName(scheme)).c_str());
+    double base = 0;
+    double deepest = 0;
+    for (uint32_t d : depths) {
+      MachineConfig cfg = BenchConfig(scheme);
+      ApplyFaultArgs(&cfg, args);
+      cfg.queue_depth = d;
+      RunMeasurement meas = RunRemoveBenchmark(cfg, users, tree);
+      std::string label = std::string(SchemeName(scheme)) + "/qd" + std::to_string(d);
+      sidecar.Append(label, meas.stats_json);
+      printf(" %11.2f", meas.ElapsedAvgSeconds());
+      if (d == depths.front()) {
+        base = meas.ElapsedAvgSeconds();
+      }
+      if (d == depths.back()) {
+        deepest = meas.ElapsedAvgSeconds();
+      }
+    }
+    printf(" %11.1f%%\n", base > 0 ? 100.0 * (base - deepest) / base : 0.0);
+  }
+  PrintRule(78);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mufs
+
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv, /*default_users=*/4);
+  return mufs::Main(args);
+}

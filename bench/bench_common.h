@@ -20,12 +20,15 @@ namespace mufs {
 // CLI overrides shared by every bench binary: --users=N scales the
 // multi-user workloads, --stats-out=PATH redirects the JSONL sidecar,
 // --fault-rate=P / --fault-seed=S enable disk fault injection (uniform
-// profile derived from one probability; see FaultConfig::Uniform).
+// profile derived from one probability; see FaultConfig::Uniform),
+// --queue-depth=N enables device command queueing (1 = the paper's
+// substrate, byte-identical stats to the pre-queueing driver).
 struct BenchArgs {
   int users = 0;
   std::string stats_out;
   double fault_rate = 0;
   uint64_t fault_seed = 1;
+  uint32_t queue_depth = 1;
 };
 
 // Parses the shared flags, REMOVING recognized arguments from argv so a
@@ -51,6 +54,13 @@ inline BenchArgs ParseBenchArgs(int* argc, char** argv, int default_users = 0) {
       args.fault_rate = std::atof(argv[i] + 13);
     } else if (a.rfind("--fault-seed=", 0) == 0) {
       args.fault_seed = std::strtoull(argv[i] + 13, nullptr, 10);
+    } else if (a.rfind("--queue-depth=", 0) == 0) {
+      int n = std::atoi(argv[i] + 14);
+      if (n > 0) {
+        args.queue_depth = static_cast<uint32_t>(n);
+      } else {
+        std::fprintf(stderr, "warning: ignoring bad %s\n", argv[i]);
+      }
     } else {
       argv[kept++] = argv[i];
     }
@@ -65,6 +75,7 @@ inline void ApplyFaultArgs(MachineConfig* cfg, const BenchArgs& args) {
   if (args.fault_rate > 0) {
     cfg->fault = FaultConfig::Uniform(args.fault_rate, args.fault_seed);
   }
+  cfg->queue_depth = args.queue_depth;  // 1 (the default) is a no-op.
 }
 
 inline MachineConfig BenchConfig(Scheme scheme, bool alloc_init = false) {

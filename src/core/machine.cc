@@ -49,6 +49,7 @@ DriverConfig MakeDriverConfig(const MachineConfig& cfg, StatsRegistry* stats,
   d.collect_traces = cfg.collect_traces;
   d.stats = stats;
   d.faults = faults;
+  d.queue_depth = cfg.queue_depth;
   switch (cfg.scheme) {
     case Scheme::kSchedulerFlag:
       d.mode = cfg.ignore_flags ? OrderingMode::kNone : OrderingMode::kFlag;

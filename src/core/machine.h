@@ -65,6 +65,13 @@ struct MachineConfig {
   // Enforce allocation initialization for file data blocks (tables 1).
   bool alloc_init = false;
 
+  // Device command-queue depth (--queue-depth). 1 = the paper's substrate
+  // (no command queueing, byte-identical stats to the pre-queueing
+  // driver); >1 enables SCSI-style tagged queueing: the driver dispatches
+  // until the device queue is full and the device picks by rotational
+  // position, with ordered tags at the Flag/Chains ordering boundaries.
+  uint32_t queue_depth = 1;
+
   // Journaling options (Scheme::kJournaling only): size of the on-disk
   // log extent (journal superblock + ring) and the group-commit cadence.
   uint32_t journal_log_blocks = 1024;

@@ -238,7 +238,7 @@ Task<void> SchedulerFlagPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef da
     // Asynchronous flagged init write from the zero block; the pointer
     // carrier's write is issued later, hence ordered after it.
     fs()->cache()->driver()->IssueWrite(data_buf->blkno(), {fs()->cache()->ZeroBlock()},
-                                        {.flag = true});
+                                        {.flag = true, .device_ordered = true});
   }
   co_await fs()->CommitBlockPointer(proc, ip, loc, data_buf->blkno());
 }
@@ -254,6 +254,7 @@ Task<void> SchedulerFlagPolicy::SetupBlockFree(Proc& proc, Inode& ip,
   co_await fs()->FlushInodeToBuffer(ip);
   OrderingTag flagged;
   flagged.flag = true;
+  flagged.device_ordered = true;
   (void)co_await fs()->cache()->Bawrite(ip.itable_buf, flagged);
   for (BufRef& ibuf : updated_indirects) {
     (void)co_await fs()->cache()->Bawrite(ibuf, flagged);
@@ -272,6 +273,7 @@ Task<void> SchedulerFlagPolicy::SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir_
   co_await fs()->FlushInodeToBuffer(target);
   OrderingTag flagged;
   flagged.flag = true;
+  flagged.device_ordered = true;
   (void)co_await fs()->cache()->Bawrite(target.itable_buf, flagged);
 }
 
@@ -285,6 +287,7 @@ Task<void> SchedulerFlagPolicy::SetupLinkRemove(Proc& proc, Inode& dir, BufRef d
   NoteOrderingPoint("link_remove", "flagged_write");
   OrderingTag flagged;
   flagged.flag = true;
+  flagged.device_ordered = true;
   if (rename != nullptr && rename->new_dir_buf->blkno() != dir_buf->blkno()) {
     NoteOrderingPoint("rename_fence", "flagged_write");
     (void)co_await fs()->cache()->Bawrite(rename->new_dir_buf, flagged);
@@ -299,6 +302,7 @@ Task<void> SchedulerFlagPolicy::SetupInodeFree(Proc& proc, Inode& ip) {
     co_await fs()->FlushInodeToBuffer(ip);
     OrderingTag free_tag;
     free_tag.flag = true;
+    free_tag.device_ordered = true;
     (void)co_await fs()->cache()->Bawrite(ip.itable_buf, free_tag);
   }
   co_await fs()->FreeInodeInBitmap(proc, ip.ino);
@@ -391,6 +395,7 @@ Task<void> SchedulerChainPolicy::SetupLinkAdd(Proc& proc, Inode& dir, BufRef dir
   OrderingTag add_tag;
   if (!track_freed_) {
     add_tag.deps = BarrierDeps();
+    add_tag.device_ordered = !add_tag.deps.empty();
   }
   uint64_t id = co_await fs()->cache()->Bawrite(target.itable_buf, std::move(add_tag));
   // The directory entry (whenever its block is written) follows the inode.
@@ -446,6 +451,7 @@ Task<void> SchedulerChainPolicy::SetupInodeFree(Proc& proc, Inode& ip) {
     tag.deps.insert(tag.deps.end(), barrier.begin(), barrier.end());
   }
   if (ip.dirty || ip.itable_buf->dirty() || !tag.deps.empty()) {
+    tag.device_ordered = !tag.deps.empty();
     co_await fs()->FlushInodeToBuffer(ip);
     uint64_t id = co_await fs()->cache()->Bawrite(ip.itable_buf, std::move(tag));
     if (!track_freed_) {

@@ -1,0 +1,74 @@
+#include "src/disk/device_queue.h"
+
+namespace mufs {
+
+namespace {
+
+bool Overlaps(const DeviceCommand& a, const DeviceCommand& b) {
+  return a.blkno < b.blkno + b.count && b.blkno < a.blkno + a.count;
+}
+
+}  // namespace
+
+uint64_t DeviceQueue::Accept(TagKind tag, bool is_write, uint32_t blkno, uint32_t count,
+                             void* cookie) {
+  DeviceCommand cmd;
+  cmd.seq = next_seq_++;
+  cmd.tag = tag;
+  cmd.is_write = is_write;
+  cmd.blkno = blkno;
+  cmd.count = count;
+  cmd.cookie = cookie;
+  cmds_.push_back(cmd);
+  return cmd.seq;
+}
+
+bool DeviceQueue::Eligible(const DeviceCommand& c) const {
+  // Every constraint is against EARLIER-accepted pending commands, so the
+  // oldest command is always eligible. The queue is at most `depth` long;
+  // a quadratic scan is cheaper than maintaining indices at this size.
+  for (const DeviceCommand& e : cmds_) {
+    if (e.seq >= c.seq) {
+      break;  // Acceptance order: everything after is later.
+    }
+    // An ordered tag is a barrier in both directions: it waits for every
+    // earlier command, and nothing later may pass it.
+    if (e.tag == TagKind::kOrdered || c.tag == TagKind::kOrdered) {
+      return false;
+    }
+    // Overlapping writes execute in acceptance order regardless of tags.
+    if (c.is_write && e.is_write && Overlaps(c, e)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const DeviceCommand* DeviceQueue::PickNext(const DiskModel& model, SimTime now) const {
+  const DeviceCommand* best = nullptr;
+  SimDuration best_cost = 0;
+  for (const DeviceCommand& c : cmds_) {
+    if (!Eligible(c)) {
+      continue;
+    }
+    SimDuration cost = model.PositioningCost(c.is_write, c.blkno, c.count, now);
+    // Strict < keeps the earliest-accepted of equal-cost commands
+    // (iteration is in acceptance order), so picks are deterministic.
+    if (best == nullptr || cost < best_cost) {
+      best = &c;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void DeviceQueue::Remove(uint64_t seq) {
+  for (auto it = cmds_.begin(); it != cmds_.end(); ++it) {
+    if (it->seq == seq) {
+      cmds_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace mufs

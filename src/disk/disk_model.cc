@@ -37,6 +37,18 @@ SimDuration DiskModel::RotationalDelay(uint32_t blkno, SimTime t) const {
   return delay;
 }
 
+SimDuration DiskModel::PositioningCost(bool is_write, uint32_t blkno, uint32_t count,
+                                       SimTime start) const {
+  count = std::max(count, 1u);
+  if (!is_write && CacheHit(blkno, count)) {
+    return geom_.command_overhead;  // Served from the prefetch cache.
+  }
+  SimTime t = start + geom_.command_overhead;
+  SimDuration seek = SeekTime(head_cylinder_, CylinderOf(blkno));
+  t += seek;
+  return geom_.command_overhead + seek + RotationalDelay(blkno, t);
+}
+
 SimDuration DiskModel::Access(bool is_write, uint32_t blkno, uint32_t count, SimTime start) {
   count = std::max(count, 1u);
   // Reads wholly inside the prefetch window: bus transfer only.

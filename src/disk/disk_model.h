@@ -14,7 +14,11 @@
 //   - on-board sequential read prefetch (the paper's "disk prefetches
 //     sequentially into its on-board cache"): sequential reads hit the
 //     cache and cost only bus transfer time.
-// Command queueing at the disk is NOT modelled (the paper disables it).
+// Command queueing at the disk is modelled one layer up (DeviceQueue +
+// the driver's dispatch loop); this model contributes the const
+// PositioningCost() estimate that the device's RPO pick policy ranks
+// queued commands by. The paper's substrate (queueing disabled) is the
+// queue-depth-1 configuration.
 #ifndef MUFS_SRC_DISK_DISK_MODEL_H_
 #define MUFS_SRC_DISK_DISK_MODEL_H_
 
@@ -40,6 +44,14 @@ class DiskModel {
   // Computes the service time for an access beginning at `start`, updates
   // head position and cache state. `count` blocks starting at `blkno`.
   SimDuration Access(bool is_write, uint32_t blkno, uint32_t count, SimTime start);
+
+  // Estimated positioning cost (command overhead + seek + rotational
+  // latency; bus-only for prefetch-cache read hits) for an access
+  // starting at `start`, WITHOUT mutating head or cache state. This is
+  // the quantity a queueing drive's RPO scheduler minimizes when it picks
+  // the next queued command.
+  SimDuration PositioningCost(bool is_write, uint32_t blkno, uint32_t count,
+                              SimTime start) const;
 
   // Pure helpers, exposed for tests.
   SimDuration SeekTime(uint32_t from_cyl, uint32_t to_cyl) const;

@@ -124,6 +124,98 @@ INSTANTIATE_TEST_SUITE_P(
       return n;
     });
 
+// Command-queueing crash sweep: with --queue-depth > 1 the device holds
+// up to depth accepted commands that are NOT yet on media, and completes
+// them out of submission order (RPO picks, ordered tags at the Flag and
+// Chains ordering boundaries). Crash images are still indexed by write
+// commits, so sweeping every write boundary covers exactly those
+// "accepted into the device queue but not yet on media" states. Each
+// scheme is held to its own recovery model: the four ordered schemes must
+// be fsck-clean raw (Flag/Chains via ordered-tag delegation), No Order
+// must be repairable, journaling must recover by log replay alone.
+struct QueueingCase {
+  Scheme scheme;
+  uint32_t depth;
+  const char* name;
+};
+
+class QueueingCrashSweepTest : public ::testing::TestWithParam<QueueingCase> {};
+
+TEST_P(QueueingCrashSweepTest, EveryCrashPointRecoversAtDepth) {
+  const QueueingCase& c = GetParam();
+  MachineConfig cfg = ConfigFor(c.scheme, false);
+  cfg.queue_depth = c.depth;
+
+  // Non-vacuity: the swept run must actually reach multi-command device
+  // queue occupancy, otherwise no accepted-but-not-on-media state exists.
+  {
+    Machine m(cfg);
+    Proc p = m.MakeProc("u");
+    bool done = false;
+    auto root = [](Machine* mm, Proc* pp, bool* flag) -> Task<void> {
+      co_await mm->Boot(*pp);
+      co_await ChurnWorkload(*mm, *pp);
+      *flag = true;
+    };
+    m.engine().Spawn(root(&m, &p, &done), "u");
+    m.engine().RunUntil([&] { return done; });
+    ASSERT_GE(m.stats().gauge("disk.device_queue").max(), 2)
+        << c.name << ": the device queue never held more than one command";
+  }
+
+  CrashHarness harness(cfg);
+  uint64_t total_writes = harness.MeasureWrites(ChurnWorkload);
+  ASSERT_GT(total_writes, 20u);
+  FsckOptions fsck;
+  for (uint64_t w = 1; w <= total_writes; w += (w == 1 ? 1 : 2)) {
+    if (c.scheme == Scheme::kNoOrder) {
+      DiskImage img = harness.CrashImageAtWrite(ChurnWorkload, w);
+      FsckRepairReport repair = FsckRepairer(&img, fsck).Repair();
+      EXPECT_TRUE(repair.clean_after)
+          << c.name << " crash@write " << w << "/" << total_writes << " not repairable";
+    } else if (c.scheme == Scheme::kJournaling) {
+      DiskImage img = harness.CrashImageAtWrite(ChurnWorkload, w);
+      JournalReplayReport replay = JournalRecovery(&img).Run();
+      EXPECT_TRUE(replay.journal_present);
+      FsckReport check = FsckChecker(&img, fsck).Check();
+      for (const auto& v : check.violations) {
+        ADD_FAILURE() << c.name << " crash@write " << w << "/" << total_writes << ": "
+                      << ToString(v.type) << ": " << v.detail;
+      }
+    } else {
+      CrashResult result = harness.RunAndCrashAtWrite(ChurnWorkload, w, fsck);
+      for (const auto& v : result.report.violations) {
+        ADD_FAILURE() << c.name << " crash@write " << w << "/" << total_writes << " ("
+                      << ToSeconds(result.crash_time) << "s): " << ToString(v.type) << ": "
+                      << v.detail;
+      }
+    }
+    if (HasFailure()) {
+      break;  // One broken crash point is enough output.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthSweep, QueueingCrashSweepTest,
+    ::testing::Values(QueueingCase{Scheme::kSchedulerFlag, 4, "SchedulerFlag@4"},
+                      QueueingCase{Scheme::kSchedulerFlag, 16, "SchedulerFlag@16"},
+                      QueueingCase{Scheme::kSchedulerChains, 4, "SchedulerChains@4"},
+                      QueueingCase{Scheme::kSchedulerChains, 16, "SchedulerChains@16"},
+                      QueueingCase{Scheme::kConventional, 16, "Conventional@16"},
+                      QueueingCase{Scheme::kSoftUpdates, 16, "SoftUpdates@16"},
+                      QueueingCase{Scheme::kNoOrder, 16, "NoOrder@16"},
+                      QueueingCase{Scheme::kJournaling, 16, "Journaling@16"}),
+    [](const ::testing::TestParamInfo<QueueingCase>& info) {
+      std::string n = info.param.name;
+      for (char& ch : n) {
+        if (ch == '@') {
+          ch = '_';
+        }
+      }
+      return n;
+    });
+
 // Flag semantics sweep: every semantics level (not just Part) preserves
 // integrity; only turning the flag off (Ignore == kNone mode) breaks it.
 class FlagSemanticsCrashTest : public ::testing::TestWithParam<FlagSemantics> {};

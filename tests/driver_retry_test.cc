@@ -219,6 +219,112 @@ TEST(DriverRetryTest, ConcatenatedRequestRetriesAsAWhole) {
   EXPECT_EQ(d[0], 0x02);
 }
 
+// --- Error paths at queue depth > 1: a fault on one queued command must
+// neither drop nor reorder its queue siblings, and the retry/remap
+// machinery must behave exactly as at depth 1.
+
+TEST(QueuedRetryTest, TransientErrorKeepsQueueSiblings) {
+  DriverConfig cfg;
+  cfg.queue_depth = 4;
+  FaultRig rig({}, cfg);
+  rig.faults.Script({FaultKind::kTransient, FaultKind::kNone});
+  uint64_t a = rig.Write(500, 1);
+  uint64_t b = rig.Write(300, 2);
+  uint64_t c = rig.Write(700, 3);
+  uint64_t d = rig.Write(100, 4);
+  rig.engine.Run();
+  EXPECT_EQ(rig.Counter("driver.retries"), 1u);
+  EXPECT_EQ(rig.Counter("driver.gave_up"), 0u);
+  ASSERT_EQ(rig.driver->Traces().size(), 4u);
+  for (uint64_t id : {a, b, c, d}) {
+    EXPECT_EQ(rig.driver->CompletionStatus(id), IoStatus::kOk);
+  }
+  BlockData blk;
+  rig.image.Read(500, &blk);
+  EXPECT_EQ(blk[0], 1);
+  rig.image.Read(100, &blk);
+  EXPECT_EQ(blk[0], 4);
+}
+
+TEST(QueuedRetryTest, BadSectorRemapKeepsQueueSiblings) {
+  DriverConfig cfg;
+  cfg.queue_depth = 4;
+  FaultRig rig({}, cfg);
+  rig.faults.MarkBadSector(60);
+  uint64_t bad = rig.Write(60, 0x33);
+  uint64_t s1 = rig.Write(10, 0x01);
+  uint64_t s2 = rig.Write(20, 0x02);
+  rig.engine.Run();
+  EXPECT_EQ(rig.Counter("driver.remaps"), 1u);
+  EXPECT_EQ(rig.Counter("driver.gave_up"), 0u);
+  for (uint64_t id : {bad, s1, s2}) {
+    EXPECT_EQ(rig.driver->CompletionStatus(id), IoStatus::kOk);
+  }
+  ASSERT_EQ(rig.driver->Traces().size(), 3u);
+  BlockData blk;
+  rig.image.Read(60, &blk);
+  EXPECT_EQ(blk[0], 0x33);
+}
+
+TEST(QueuedRetryTest, StallTimeoutKeepsQueueSiblings) {
+  DriverConfig cfg;
+  cfg.queue_depth = 4;
+  FaultRig rig({}, cfg);
+  rig.faults.Script({FaultKind::kStall, FaultKind::kNone});
+  uint64_t a = rig.Write(110, 0x0a);
+  uint64_t b = rig.Write(220, 0x0b);
+  rig.engine.Run();
+  EXPECT_EQ(rig.Counter("driver.timeouts"), 1u);
+  EXPECT_EQ(rig.Counter("driver.gave_up"), 0u);
+  EXPECT_EQ(rig.driver->CompletionStatus(a), IoStatus::kOk);
+  EXPECT_EQ(rig.driver->CompletionStatus(b), IoStatus::kOk);
+}
+
+TEST(QueuedRetryTest, OrderedTagsHoldAcrossARetry) {
+  DriverConfig cfg;
+  cfg.queue_depth = 4;
+  cfg.mode = OrderingMode::kFlag;
+  cfg.semantics = FlagSemantics::kPart;
+  FaultRig rig({}, cfg);
+  // First serviced attempt fails: the retried command must neither let a
+  // sibling pass its ordered barrier nor lose its own slot.
+  rig.faults.Script({FaultKind::kTransient, FaultKind::kNone});
+  rig.Write(500, 1);                  // Simple tag.
+  rig.Write(300, 2, OrderingTag{.flag = true, .deps = {}});  // Ordered: a barrier.
+  rig.Write(100, 3);                  // Simple, but behind the barrier.
+  rig.engine.Run();
+  std::vector<uint32_t> order;
+  uint32_t retries = 0;
+  for (const auto& t : rig.driver->Traces()) {
+    order.push_back(t.blkno);
+    retries += t.retries;
+    EXPECT_EQ(t.status, IoStatus::kOk);
+  }
+  // RPO would prefer 100 first; the ordered tag at 300 pins acceptance
+  // order 500, 300, 100 even though the retry happens mid-queue.
+  EXPECT_EQ(order, (std::vector<uint32_t>{500, 300, 100}));
+  EXPECT_EQ(retries, 1u);
+}
+
+TEST(QueuedRetryTest, ExhaustedRetriesFailOnlyTheFaultedCommand) {
+  DriverConfig cfg;
+  cfg.queue_depth = 4;
+  cfg.max_retries = 1;
+  cfg.spare_blocks = 0;
+  FaultRig rig({}, cfg);
+  rig.faults.MarkBadSector(42);
+  uint64_t bad = rig.Write(42, 0xbd);
+  uint64_t ok1 = rig.Write(900, 0x01);
+  uint64_t ok2 = rig.Write(901, 0x02);  // Merges with ok1.
+  rig.engine.Run();
+  EXPECT_EQ(rig.driver->CompletionStatus(bad), IoStatus::kFailed);
+  EXPECT_EQ(rig.driver->CompletionStatus(ok1), IoStatus::kOk);
+  EXPECT_EQ(rig.driver->CompletionStatus(ok2), IoStatus::kOk);
+  EXPECT_EQ(rig.Counter("driver.gave_up"), 1u);
+  EXPECT_EQ(rig.driver->PendingCount(), 0u);
+  EXPECT_EQ(rig.driver->DeviceQueueSize(), 0u);
+}
+
 TEST(DriverRetryTest, SameSeedProducesIdenticalFaultSchedules) {
   auto run = [](std::vector<RequestTrace>* traces, uint64_t* retries) {
     FaultConfig fc = FaultConfig::Uniform(0.2, 99);

@@ -76,6 +76,34 @@ TEST(FaultInjectionTest, SameSeedRunsAreByteIdentical) {
   }
 }
 
+// Command queueing (depth > 1) under faults: a retried or remapped
+// command sits in the device queue alongside its siblings; the recovery
+// path must neither abandon a request nor damage the image beyond what
+// the scheme's own recovery model repairs.
+TEST(FaultInjectionTest, AllSchemesSurviveFaultsAtQueueDepth) {
+  TreeSpec tree = SmallFaultTree();
+  for (Scheme s : kAllSchemes) {
+    for (uint32_t depth : {4u, 16u}) {
+      SCOPED_TRACE(std::string(SchemeName(s)) + " depth=" + std::to_string(depth));
+      FaultRunResult r = RunFaultWorkload(s, kDenseRate, 1, tree, depth);
+      EXPECT_GT(r.injected, 0u);
+      EXPECT_TRUE(CompleteOrCleanFail(r.populate)) << static_cast<int>(r.populate);
+      EXPECT_TRUE(CompleteOrCleanFail(r.copy)) << static_cast<int>(r.copy);
+      EXPECT_TRUE(CompleteOrCleanFail(r.remove)) << static_cast<int>(r.remove);
+      EXPECT_EQ(r.gave_up, 0u);
+      EXPECT_TRUE(r.fsck_clean || r.fsck_repaired_clean) << r.fsck_detail;
+    }
+  }
+}
+
+TEST(FaultInjectionTest, QueuedFaultRunsAreByteIdentical) {
+  TreeSpec tree = SmallFaultTree();
+  FaultRunResult a = RunFaultWorkload(Scheme::kSchedulerFlag, kDenseRate, 1, tree, 16);
+  FaultRunResult b = RunFaultWorkload(Scheme::kSchedulerFlag, kDenseRate, 1, tree, 16);
+  EXPECT_GT(a.injected, 0u);
+  EXPECT_EQ(a.stats_json, b.stats_json);
+}
+
 TEST(FaultInjectionTest, DifferentSeedsChangeTheFaultSchedule) {
   TreeSpec tree = SmallFaultTree();
   FaultRunResult a = RunFaultWorkload(Scheme::kConventional, kDenseRate, 1, tree);

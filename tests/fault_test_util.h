@@ -31,9 +31,10 @@ inline bool CompleteOrCleanFail(FsStatus s) {
 }
 
 inline FaultRunResult RunFaultWorkload(Scheme scheme, double rate, uint64_t fault_seed,
-                                       const TreeSpec& tree) {
+                                       const TreeSpec& tree, uint32_t queue_depth = 1) {
   MachineConfig cfg;
   cfg.scheme = scheme;
+  cfg.queue_depth = queue_depth;
   if (rate > 0) {
     cfg.fault = FaultConfig::Uniform(rate, fault_seed);
   }
