@@ -19,6 +19,10 @@ namespace mufs {
 
 using BlockData = std::array<uint8_t, kBlockSize>;
 
+// A torn write persists this prefix of the block (half its sectors);
+// the rest of the block keeps its previous stable content.
+constexpr size_t kTornPersistBytes = kBlockSize / 2;
+
 class DiskImage {
  public:
   explicit DiskImage(uint32_t total_blocks) : total_blocks_(total_blocks) {}
@@ -37,14 +41,40 @@ class DiskImage {
 
   // Atomically replaces a block's stable content (per the paper's
   // footnote 1, each critical structure fits in an atomic write unit).
+  // When a torn write has been armed for this write index, only the
+  // sector prefix persists instead - see ArmTornWrite().
   void Write(uint32_t blkno, const BlockData& data, SimTime when) {
+    if (torn_arm_ != 0 && write_count_ + 1 == torn_arm_) {
+      WriteTorn(blkno, data, when);
+      return;
+    }
     blocks_[blkno] = data;
     ++write_count_;
     last_write_time_ = when;
   }
 
+  // Torn persistence: only the first kTornPersistBytes (half the block,
+  // i.e. a prefix of its sectors) take the new content; the tail keeps
+  // whatever was stable before. This deliberately violates the atomic-
+  // write-unit assumption - it is how torn-write faults and mid-write
+  // ("pulled the cord during the transfer") crash images are modelled.
+  void WriteTorn(uint32_t blkno, const BlockData& data, SimTime when) {
+    BlockData& cur = blocks_[blkno];  // Value-initialized (zero) if new.
+    std::memcpy(cur.data(), data.data(), kTornPersistBytes);
+    ++write_count_;
+    ++torn_write_count_;
+    last_write_time_ = when;
+  }
+
+  // Arms the harness-side mid-write crash model: the `nth_write`-th
+  // device write (1-based, counted by WriteCount()) lands torn. Every
+  // write boundary of a run can thereby also be explored as a torn
+  // (mid-write) crash state. 0 disarms.
+  void ArmTornWrite(uint64_t nth_write) { torn_arm_ = nth_write; }
+
   bool EverWritten(uint32_t blkno) const { return blocks_.contains(blkno); }
   uint64_t WriteCount() const { return write_count_; }
+  uint64_t TornWriteCount() const { return torn_write_count_; }
   SimTime LastWriteTime() const { return last_write_time_; }
 
   // Snapshot for crash analysis: a deep copy of stable storage.
@@ -54,6 +84,8 @@ class DiskImage {
   uint32_t total_blocks_;
   std::unordered_map<uint32_t, BlockData> blocks_;
   uint64_t write_count_ = 0;
+  uint64_t torn_write_count_ = 0;
+  uint64_t torn_arm_ = 0;  // 1-based write index to tear; 0 = disarmed.
   SimTime last_write_time_ = 0;
 };
 

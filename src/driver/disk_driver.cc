@@ -20,6 +20,11 @@ DiskDriver::DiskDriver(Engine* engine, DiskModel* model, DiskImage* image, Drive
       config_(config),
       work_available_(engine),
       queue_empty_(engine) {
+  if (config_.faults != nullptr) {
+    // Lets the injector's damage ledger name the same misdirection
+    // victims the media transfer will use.
+    config_.faults->SetTotalBlocks(image_->TotalBlocks());
+  }
   if (config_.stats != nullptr) {
     stats_ = config_.stats;
   } else {
@@ -463,6 +468,20 @@ Task<IoStatus> DiskDriver::ServiceOne(Request* r, SimTime service_start, uint32_
     FaultKind fault = config_.faults == nullptr
                           ? FaultKind::kNone
                           : config_.faults->Decide(r->dir, r->blkno, r->count);
+    if (fault == FaultKind::kTornWrite || fault == FaultKind::kMisdirected) {
+      // Silent damage: the device reports success, so from here on this
+      // attempt IS the success path (access time, no retry). The damaged
+      // media transfer itself happens at Complete().
+      r->silent_damage = static_cast<uint8_t>(fault);
+      if (stats_->tracing()) {
+        stats_->Trace("disk.fault", {{"id", r->ids.front()},
+                                     {"blkno", r->blkno},
+                                     {"count", r->count},
+                                     {"kind", FaultKindName(fault)},
+                                     {"attempt", attempts}});
+      }
+      fault = FaultKind::kNone;
+    }
     if (fault == FaultKind::kNone) {
       uint32_t from_cyl = model_->CurrentCylinder();
       SimDuration dur =
@@ -564,8 +583,32 @@ void DiskDriver::Complete(Request* req, IoStatus status) {
     // Media transfer happens only on success: a failed write leaves the
     // image untouched, a failed read leaves the destination untouched.
     if (req->dir == IoDir::kWrite) {
-      for (uint32_t i = 0; i < req->count; ++i) {
-        image_->Write(req->blkno + i, *req->data[i], engine_->Now());
+      switch (static_cast<FaultKind>(req->silent_damage)) {
+        case FaultKind::kTornWrite: {
+          // A prefix of the transfer persists in full, the in-flight
+          // block persists torn, the tail never reaches the medium.
+          uint32_t torn_at = req->count / 2;
+          for (uint32_t i = 0; i < torn_at; ++i) {
+            image_->Write(req->blkno + i, *req->data[i], engine_->Now());
+          }
+          image_->WriteTorn(req->blkno + torn_at, *req->data[torn_at], engine_->Now());
+          break;
+        }
+        case FaultKind::kMisdirected: {
+          // The whole payload lands one slip away; the intended range
+          // keeps its stale content.
+          uint32_t victim = FaultInjector::MisdirectVictim(req->blkno, req->count,
+                                                           image_->TotalBlocks());
+          for (uint32_t i = 0; i < req->count; ++i) {
+            image_->Write(victim + i, *req->data[i], engine_->Now());
+          }
+          break;
+        }
+        default:
+          for (uint32_t i = 0; i < req->count; ++i) {
+            image_->Write(req->blkno + i, *req->data[i], engine_->Now());
+          }
+          break;
       }
     } else {
       image_->Read(req->blkno, req->read_out);

@@ -160,6 +160,10 @@ class DiskDriver {
     bool device_ordered = false;  // Scheme asked for an ordered device tag.
     uint64_t issue_index;  // Position in issue order (max over merged).
     uint64_t device_seq = 0;  // Device acceptance number (queueing mode).
+    // Silent damage decided for this (write) request: the device reports
+    // success but the media transfer is torn or misdirected. Set by
+    // ServiceOne, consumed by Complete. kNone = honest transfer.
+    uint8_t silent_damage = 0;  // FaultKind, as uint8_t to avoid the include.
     SimTime issue_time;
     std::vector<uint64_t> deps;
     std::vector<std::shared_ptr<const BlockData>> data;  // Writes.

@@ -14,6 +14,10 @@ std::string_view FaultKindName(FaultKind kind) {
       return "bad_sector";
     case FaultKind::kStall:
       return "stall";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kMisdirected:
+      return "misdirected";
   }
   return "?";
 }
@@ -27,6 +31,19 @@ void FaultInjector::AttachStats(StatsRegistry* stats) {
   stat_stalls_ = &stats->counter("fault.stalls");
   stat_bad_sectors_ = &stats->counter("fault.bad_sectors");
   stat_remapped_ = &stats->counter("fault.remapped");
+  stat_torn_ = &stats->counter("fault.torn_writes");
+  stat_misdirected_ = &stats->counter("fault.misdirected");
+}
+
+uint32_t FaultInjector::MisdirectVictim(uint32_t blkno, uint32_t count,
+                                        uint32_t total_blocks) {
+  // Forward slip by one transfer length when the landing range fits on
+  // the medium; backward slip otherwise. Never reaches block 0: a
+  // backward slip is only taken for blkno near total_blocks.
+  if (total_blocks == 0 || blkno + 2 * count <= total_blocks) {
+    return blkno + count;
+  }
+  return blkno >= count ? blkno - count : blkno;
 }
 
 FaultKind FaultInjector::Decide(IoDir dir, uint32_t blkno, uint32_t count) {
@@ -42,18 +59,39 @@ FaultKind FaultInjector::Decide(IoDir dir, uint32_t blkno, uint32_t count) {
     kind = FaultKind::kBadSector;
   } else if (config_.Enabled()) {
     // One draw per attempt, thresholds stacked so the draw sequence (and
-    // therefore every same-seed run) is deterministic.
+    // therefore every same-seed run) is deterministic. The silent-damage
+    // thresholds stack LAST: configs that leave them zero draw exactly
+    // the schedules they drew before these classes existed.
     double u = rng_.UniformDouble();
     double err_rate =
         dir == IoDir::kRead ? config_.read_error_rate : config_.write_error_rate;
-    if (u < config_.stall_rate) {
+    double t1 = config_.stall_rate;
+    double t2 = t1 + config_.bad_sector_rate;
+    double t3 = t2 + err_rate;
+    double t4 = t3 + config_.torn_write_rate;
+    double t5 = t4 + config_.misdirect_rate;
+    if (u < t1) {
       kind = FaultKind::kStall;
-    } else if (u < config_.stall_rate + config_.bad_sector_rate) {
+    } else if (u < t2) {
       bad_.insert(blkno);
       kind = FaultKind::kBadSector;
-    } else if (u < config_.stall_rate + config_.bad_sector_rate + err_rate) {
+    } else if (u < t3) {
       kind = FaultKind::kTransient;
+    } else if (u < t4) {
+      kind = FaultKind::kTornWrite;
+    } else if (u < t5) {
+      kind = FaultKind::kMisdirected;
     }
+  }
+  // Silent damage is a write phenomenon; a read attempt passes clean.
+  if ((kind == FaultKind::kTornWrite || kind == FaultKind::kMisdirected) &&
+      dir != IoDir::kWrite) {
+    kind = FaultKind::kNone;
+  }
+  if (kind == FaultKind::kTornWrite) {
+    damage_.push_back({kind, blkno, count, 0});
+  } else if (kind == FaultKind::kMisdirected) {
+    damage_.push_back({kind, blkno, count, MisdirectVictim(blkno, count, total_blocks_)});
   }
   if (kind != FaultKind::kNone && stat_injected_ != nullptr) {
     stat_injected_->Inc();
@@ -66,6 +104,12 @@ FaultKind FaultInjector::Decide(IoDir dir, uint32_t blkno, uint32_t count) {
         break;
       case FaultKind::kBadSector:
         stat_bad_sectors_->Inc();
+        break;
+      case FaultKind::kTornWrite:
+        stat_torn_->Inc();
+        break;
+      case FaultKind::kMisdirected:
+        stat_misdirected_->Inc();
         break;
       case FaultKind::kNone:
         break;

@@ -337,6 +337,381 @@ Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64
 }
 
 // ---------------------------------------------------------------------
+// Personalities
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Create + initial tagged write; returns the new ino (or the failure).
+Task<Result<uint32_t>> CreateTagged(Machine& m, Proc& proc, const std::string& path,
+                                    uint64_t bytes) {
+  Result<uint32_t> ino = co_await m.fs().Create(proc, path);
+  if (!ino.Ok()) {
+    co_return ino;
+  }
+  FsStatus s = co_await WriteTagged(m, proc, ino.value(), bytes);
+  if (s != FsStatus::kOk) {
+    co_return s;
+  }
+  co_return ino;
+}
+
+// Block-aligned append of `bytes` of tagged data (tags are per-block, so
+// appends keep the file fsck-verifiable).
+Task<FsStatus> AppendTagged(Machine& m, Proc& proc, uint32_t ino, uint64_t bytes) {
+  Result<StatInfo> st = co_await m.fs().StatIno(proc, ino);
+  if (!st.Ok()) {
+    co_return st.status();
+  }
+  uint64_t off = (st.value().size + kBlockSize - 1) / kBlockSize * kBlockSize;
+  std::vector<uint8_t> data = MakeTaggedData(ino, st.value().generation, bytes);
+  Result<uint64_t> w = co_await m.fs().WriteFile(proc, ino, off, data);
+  co_return w.Ok() ? FsStatus::kOk : w.status();
+}
+
+// Whole-file read through Lookup (cold reads hit the disk).
+Task<bool> ReadWhole(Machine& m, Proc& proc, const std::string& path) {
+  Result<uint32_t> ino = co_await m.fs().Lookup(proc, path);
+  if (!ino.Ok()) {
+    co_return false;
+  }
+  Result<StatInfo> st = co_await m.fs().StatIno(proc, ino.value());
+  if (!st.Ok()) {
+    co_return false;
+  }
+  std::vector<uint8_t> buf(std::max<uint64_t>(st.value().size, 1));
+  Result<uint64_t> r = co_await m.fs().ReadFile(proc, ino.value(), 0, buf);
+  co_return r.Ok();
+}
+
+}  // namespace
+
+Task<FsStatus> MailServerWorkload(Machine& m, Proc& proc, const std::string& root,
+                                  uint64_t seed, int operations, PersonalityOpMix* mix) {
+  Rng rng(seed);
+  PersonalityOpMix mx;
+  for (const std::string& d : {root, root + "/tmp", root + "/new", root + "/cur"}) {
+    FsStatus s = co_await m.fs().Mkdir(proc, d);
+    if (s != FsStatus::kOk && s != FsStatus::kExists) {
+      co_return s;
+    }
+    ++mx.mkdirs;
+  }
+  Result<uint32_t> log = co_await CreateTagged(m, proc, root + "/log", kBlockSize);
+  if (!log.Ok()) {
+    co_return log.status();
+  }
+  ++mx.creates;
+
+  std::vector<std::string> fresh;  // Message names sitting in new/.
+  std::vector<std::string> seen;   // Message names sitting in cur/.
+  int name_counter = 0;
+  for (int op = 0; op < operations; ++op) {
+    double r = rng.UniformDouble();
+    if (r < 0.35 || (fresh.empty() && seen.empty())) {
+      // Delivery: write the message under tmp/, then rename it into
+      // new/ (the maildir atomic-publish idiom).
+      std::string name = "m" + std::to_string(name_counter++);
+      uint64_t bytes = 512 + rng.Next() % 4096;
+      Result<uint32_t> ino = co_await CreateTagged(m, proc, root + "/tmp/" + name, bytes);
+      if (!ino.Ok()) {
+        continue;
+      }
+      ++mx.creates;
+      if ((co_await m.fs().Rename(proc, root + "/tmp/" + name, root + "/new/" + name)) ==
+          FsStatus::kOk) {
+        ++mx.renames;
+        fresh.push_back(name);
+      }
+    } else if (r < 0.55 && !fresh.empty()) {
+      // A reader notices the message: move new/ -> cur/.
+      size_t idx = rng.Next() % fresh.size();
+      std::string name = fresh[idx];
+      if ((co_await m.fs().Rename(proc, root + "/new/" + name, root + "/cur/" + name)) ==
+          FsStatus::kOk) {
+        ++mx.renames;
+        seen.push_back(name);
+        fresh.erase(fresh.begin() + static_cast<ptrdiff_t>(idx));
+      }
+    } else if (r < 0.70 && !seen.empty()) {
+      // Re-read a seen message.
+      std::string path = root + "/cur/" + seen[rng.Next() % seen.size()];
+      Result<StatInfo> st = co_await m.fs().Stat(proc, path);
+      if (st.Ok()) {
+        ++mx.stats;
+      }
+      if (co_await ReadWhole(m, proc, path)) {
+        ++mx.reads;
+      }
+    } else if (r < 0.85) {
+      // Append a delivery record to the log.
+      if ((co_await AppendTagged(m, proc, log.value(), kBlockSize)) == FsStatus::kOk) {
+        ++mx.appends;
+      }
+    } else if (!seen.empty()) {
+      // Expunge.
+      size_t idx = rng.Next() % seen.size();
+      if ((co_await m.fs().Unlink(proc, root + "/cur/" + seen[idx])) == FsStatus::kOk) {
+        ++mx.unlinks;
+        seen.erase(seen.begin() + static_cast<ptrdiff_t>(idx));
+      }
+    }
+  }
+  if (mix != nullptr) {
+    *mix = mx;
+  }
+  co_return FsStatus::kOk;
+}
+
+Task<FsStatus> BuildFarmWorkload(Machine& m, Proc& proc, const std::string& root,
+                                 uint64_t seed, int operations, PersonalityOpMix* mix) {
+  Rng rng(seed);
+  PersonalityOpMix mx;
+  FsStatus s = co_await m.fs().Mkdir(proc, root);
+  if (s != FsStatus::kOk && s != FsStatus::kExists) {
+    co_return s;
+  }
+  ++mx.mkdirs;
+  // A deep module chain: root/d0/d1/.../d5, four sources per level.
+  std::vector<std::string> dirs;
+  std::string path = root;
+  for (int d = 0; d < 6; ++d) {
+    path += "/d" + std::to_string(d);
+    s = co_await m.fs().Mkdir(proc, path);
+    if (s != FsStatus::kOk) {
+      co_return s;
+    }
+    ++mx.mkdirs;
+    dirs.push_back(path);
+  }
+  std::vector<std::string> sources;
+  for (const std::string& dir : dirs) {
+    for (int i = 0; i < 4; ++i) {
+      std::string src = dir + "/s" + std::to_string(i) + ".c";
+      Result<uint32_t> ino = co_await CreateTagged(m, proc, src, 2048 + rng.Next() % 6144);
+      if (ino.Ok()) {
+        ++mx.creates;
+        sources.push_back(src);
+      }
+    }
+  }
+
+  std::vector<std::string> objects;
+  int name_counter = 0;
+  for (int op = 0; op < operations; ++op) {
+    double r = rng.UniformDouble();
+    if (r < 0.55) {
+      // Dependency scan: make stats every node along every deep path.
+      for (const std::string& dir : dirs) {
+        if ((co_await m.fs().Stat(proc, dir)).Ok()) {
+          ++mx.stats;
+        }
+      }
+      for (const std::string& src : sources) {
+        if ((co_await m.fs().Stat(proc, src)).Ok()) {
+          ++mx.stats;
+        }
+      }
+    } else if (r < 0.75) {
+      // Compile one translation unit.
+      const std::string& src = sources[rng.Next() % sources.size()];
+      if (co_await ReadWhole(m, proc, src)) {
+        ++mx.reads;
+      }
+      co_await m.cpu().Consume(proc.pid, Msec(60));
+      std::string obj = src + "." + std::to_string(name_counter++) + ".o";
+      Result<uint32_t> ino = co_await CreateTagged(m, proc, obj, 4096 + rng.Next() % 8192);
+      if (ino.Ok()) {
+        ++mx.creates;
+        objects.push_back(obj);
+      }
+    } else if (r < 0.90) {
+      // Incremental edit: rewrite a source in place.
+      const std::string& src = sources[rng.Next() % sources.size()];
+      Result<uint32_t> ino = co_await m.fs().Lookup(proc, src);
+      if (ino.Ok() &&
+          (co_await WriteTagged(m, proc, ino.value(), 2048 + rng.Next() % 6144)) ==
+              FsStatus::kOk) {
+        ++mx.appends;
+      }
+    } else {
+      // Clean pass: remove every object.
+      for (const std::string& obj : objects) {
+        if ((co_await m.fs().Unlink(proc, obj)) == FsStatus::kOk) {
+          ++mx.unlinks;
+        }
+      }
+      objects.clear();
+    }
+  }
+  if (mix != nullptr) {
+    *mix = mx;
+  }
+  co_return FsStatus::kOk;
+}
+
+Task<FsStatus> WebAssetSwapWorkload(Machine& m, Proc& proc, const std::string& root,
+                                    uint64_t seed, int operations, PersonalityOpMix* mix) {
+  Rng rng(seed);
+  PersonalityOpMix mx;
+  for (const std::string& d : {root, root + "/stage"}) {
+    FsStatus s = co_await m.fs().Mkdir(proc, d);
+    if (s != FsStatus::kOk && s != FsStatus::kExists) {
+      co_return s;
+    }
+    ++mx.mkdirs;
+  }
+  constexpr int kAssets = 12;
+  for (int i = 0; i < kAssets; ++i) {
+    Result<uint32_t> ino = co_await CreateTagged(m, proc, root + "/a" + std::to_string(i),
+                                                 1024 + rng.Next() % 16384);
+    if (!ino.Ok()) {
+      co_return ino.status();
+    }
+    ++mx.creates;
+  }
+
+  int version = 0;
+  for (int op = 0; op < operations; ++op) {
+    double r = rng.UniformDouble();
+    std::string live = root + "/a" + std::to_string(rng.Next() % kAssets);
+    if (r < 0.70) {
+      // Deploy: stage the new version, then swap it in. Rename does not
+      // replace, so the swap is unlink(live) + rename(staged, live) -
+      // exactly the window the ordering schemes must keep safe.
+      std::string staged = root + "/stage/v" + std::to_string(version++);
+      Result<uint32_t> ino = co_await CreateTagged(m, proc, staged, 1024 + rng.Next() % 16384);
+      if (!ino.Ok()) {
+        continue;
+      }
+      ++mx.creates;
+      if ((co_await m.fs().Unlink(proc, live)) == FsStatus::kOk) {
+        ++mx.unlinks;
+      }
+      if ((co_await m.fs().Rename(proc, staged, live)) == FsStatus::kOk) {
+        ++mx.renames;
+      }
+    } else if (r < 0.90) {
+      // Serve: stat (cache validation) + read.
+      if ((co_await m.fs().Stat(proc, live)).Ok()) {
+        ++mx.stats;
+      }
+      if (co_await ReadWhole(m, proc, live)) {
+        ++mx.reads;
+      }
+    } else {
+      // Directory listing (health check / index page).
+      if ((co_await m.fs().ReadDir(proc, root)).Ok()) {
+        ++mx.stats;
+      }
+    }
+  }
+  if (mix != nullptr) {
+    *mix = mx;
+  }
+  co_return FsStatus::kOk;
+}
+
+Task<FsStatus> CacheCleanupWorkload(Machine& m, Proc& proc, const std::string& root,
+                                    uint64_t seed, int operations, PersonalityOpMix* mix) {
+  Rng rng(seed);
+  PersonalityOpMix mx;
+  FsStatus s = co_await m.fs().Mkdir(proc, root);
+  if (s != FsStatus::kOk && s != FsStatus::kExists) {
+    co_return s;
+  }
+  ++mx.mkdirs;
+  constexpr int kBuckets = 4;
+  int name_counter = 0;
+
+  // Alternate fill and cleanup passes until the op budget is spent.
+  // Bounded rounds guard against a pathological all-ops-fail run.
+  for (int round = 0; round < 64 && mx.Total() < static_cast<uint64_t>(operations);
+       ++round) {
+    // Fill: cache some files into hash buckets (mcachefs backs the
+    // cached tree with a mirror of the source hierarchy).
+    int fill = 8 + static_cast<int>(rng.Next() % 8);
+    for (int i = 0; i < fill; ++i) {
+      std::string bucket = root + "/b" + std::to_string(rng.Next() % kBuckets);
+      FsStatus bs = co_await m.fs().Mkdir(proc, bucket);
+      if (bs == FsStatus::kOk) {
+        ++mx.mkdirs;
+      } else if (bs != FsStatus::kExists) {
+        continue;
+      }
+      Result<uint32_t> ino = co_await CreateTagged(
+          m, proc, bucket + "/c" + std::to_string(name_counter++), 1024 + rng.Next() % 32768);
+      if (ino.Ok()) {
+        ++mx.creates;
+      }
+    }
+
+    // Cleanup-backing pass: walk the backing tree collecting sizes...
+    struct Victim {
+      std::string path;
+      uint64_t size;
+    };
+    std::vector<Victim> victims;
+    uint64_t total_bytes = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      std::string bucket = root + "/b" + std::to_string(b);
+      Result<std::vector<DirEntryInfo>> entries = co_await m.fs().ReadDir(proc, bucket);
+      if (!entries.Ok()) {
+        continue;
+      }
+      ++mx.stats;
+      for (const DirEntryInfo& e : entries.value()) {
+        std::string path = bucket + "/" + e.name;
+        Result<StatInfo> st = co_await m.fs().Stat(proc, path);
+        if (!st.Ok()) {
+          continue;
+        }
+        ++mx.stats;
+        victims.push_back({path, st.value().size});
+        total_bytes += st.value().size;
+      }
+    }
+    // ...pick victims deterministically (largest first, path as the
+    // tiebreak) and unlink until 40% of the bytes are freed...
+    std::sort(victims.begin(), victims.end(), [](const Victim& a, const Victim& b) {
+      return a.size != b.size ? a.size > b.size : a.path < b.path;
+    });
+    uint64_t budget = total_bytes * 2 / 5;
+    uint64_t freed = 0;
+    for (const Victim& v : victims) {
+      if (freed >= budget) {
+        break;
+      }
+      if ((co_await m.fs().Unlink(proc, v.path)) == FsStatus::kOk) {
+        ++mx.unlinks;
+        freed += v.size;
+      }
+    }
+    // ...then expire one bucket outright (its source subtree vanished:
+    // purge every backing file and drop the directory), and drop any
+    // other bucket the byte-budget eviction happened to empty.
+    std::string expired = root + "/b" + std::to_string(round % kBuckets);
+    Result<std::vector<DirEntryInfo>> left = co_await m.fs().ReadDir(proc, expired);
+    if (left.Ok()) {
+      for (const DirEntryInfo& e : left.value()) {
+        if ((co_await m.fs().Unlink(proc, expired + "/" + e.name)) == FsStatus::kOk) {
+          ++mx.unlinks;
+        }
+      }
+    }
+    for (int b = 0; b < kBuckets; ++b) {
+      if ((co_await m.fs().Rmdir(proc, root + "/b" + std::to_string(b))) == FsStatus::kOk) {
+        ++mx.rmdirs;
+      }
+    }
+  }
+  if (mix != nullptr) {
+    *mix = mx;
+  }
+  co_return FsStatus::kOk;
+}
+
+// ---------------------------------------------------------------------
 // Multi-user runner
 // ---------------------------------------------------------------------
 

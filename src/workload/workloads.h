@@ -63,6 +63,66 @@ Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64
                           int operations = 200);
 
 // ---------------------------------------------------------------------
+// Workload personalities (adversarial fault / crash matrix)
+// ---------------------------------------------------------------------
+//
+// Self-contained "personalities" concentrating on the metadata shapes
+// the ordering schemes disagree about. Each creates its own `root`,
+// performs a seeded op mix, and (optionally) reports the exact mix it
+// executed. The mix is a pure function of the seed - two runs with the
+// same seed perform the identical op sequence, so tests can pin
+// determinism and benchmarks can report per-op rates. Individual op
+// failures (e.g. under fault injection) are tolerated and skipped, like
+// SdetScript; only a failed setup aborts the personality.
+
+struct PersonalityOpMix {
+  uint64_t creates = 0;  // Create calls that succeeded.
+  uint64_t appends = 0;  // Data writes into already-existing files.
+  uint64_t unlinks = 0;
+  uint64_t stats = 0;    // Stat + ReadDir scans.
+  uint64_t renames = 0;
+  uint64_t mkdirs = 0;
+  uint64_t rmdirs = 0;
+  uint64_t reads = 0;    // Whole-file data reads.
+  uint64_t Total() const {
+    return creates + appends + unlinks + stats + renames + mkdirs + rmdirs + reads;
+  }
+  bool operator==(const PersonalityOpMix&) const = default;
+};
+
+// Mail server (maildir): deliveries create small messages in tmp/ and
+// rename them into new/; readers move them to cur/ and re-read them;
+// expunges unlink; deliveries also append to a growing log file. Small-
+// file create/append/rename/unlink churn.
+Task<FsStatus> MailServerWorkload(Machine& m, Proc& proc, const std::string& root,
+                                  uint64_t seed, int operations = 200,
+                                  PersonalityOpMix* mix = nullptr);
+
+// Build farm: a deep source tree scanned by make-style dependency
+// checks (stat storms down deep paths), with bursts of compiles
+// (object creates), incremental edits and clean passes.
+Task<FsStatus> BuildFarmWorkload(Machine& m, Proc& proc, const std::string& root,
+                                 uint64_t seed, int operations = 200,
+                                 PersonalityOpMix* mix = nullptr);
+
+// Web-asset swap: a live asset directory updated by staging the new
+// version of an asset and swapping it in. Rename does not replace, so
+// a swap is unlink(live) + rename(staged, live) - rename-heavy, with
+// reader traffic interleaved.
+Task<FsStatus> WebAssetSwapWorkload(Machine& m, Proc& proc, const std::string& root,
+                                    uint64_t seed, int operations = 200,
+                                    PersonalityOpMix* mix = nullptr);
+
+// Cache-backing cleanup, modeled on mcachefs's cleanup-backing loop:
+// fill a backing tree with cached files, then walk it collecting sizes,
+// sort victims deterministically (largest first) and unlink until a
+// byte budget is freed, removing directories that emptied. Fill and
+// cleanup passes alternate until the op budget is spent.
+Task<FsStatus> CacheCleanupWorkload(Machine& m, Proc& proc, const std::string& root,
+                                    uint64_t seed, int operations = 200,
+                                    PersonalityOpMix* mix = nullptr);
+
+// ---------------------------------------------------------------------
 // Multi-user runner + measurement
 // ---------------------------------------------------------------------
 

@@ -1,69 +1,16 @@
 // Driver error-path tests: scripted fault injection, bounded exponential
-// backoff, stall timeouts, bad-sector remapping into the spare pool, and
+// backoff, stall timeouts, bad-sector remapping into the spare pool,
+// silent-damage (torn / misdirected write) media semantics, and
 // preservation of the scheduling disciplines across re-issued requests.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
-#include "src/disk/disk_image.h"
-#include "src/disk/disk_model.h"
-#include "src/driver/disk_driver.h"
-#include "src/fault/fault_injector.h"
-#include "src/sim/engine.h"
+#include "tests/fault_test_util.h"
 
 namespace mufs {
 namespace {
-
-std::shared_ptr<const BlockData> MakeBlock(uint8_t fill) {
-  auto b = std::make_shared<BlockData>();
-  b->fill(fill);
-  return b;
-}
-
-// Engine + model + image + injector + driver wired together. The injector
-// is declared before the driver so it outlives it.
-struct FaultRig {
-  explicit FaultRig(FaultConfig fault_cfg = {}, DriverConfig cfg = {})
-      : model(DiskGeometry{}),
-        image(DiskGeometry{}.total_blocks),
-        faults(fault_cfg) {
-    cfg.faults = &faults;
-    driver = std::make_unique<DiskDriver>(&engine, &model, &image, cfg);
-  }
-  Engine engine;
-  DiskModel model;
-  DiskImage image;
-  FaultInjector faults;
-  std::unique_ptr<DiskDriver> driver;
-
-  uint64_t Write(uint32_t blk, uint8_t fill, OrderingTag tag = {}) {
-    return driver->IssueWrite(blk, {MakeBlock(fill)}, tag);
-  }
-  uint64_t Counter(const char* name) { return driver->stats()->counter(name).value(); }
-};
-
-// Runs `body(rig)` as a coroutine to completion and returns the terminal
-// status of request `id` plus the simulated time WaitFor took.
-struct WaitResult {
-  IoStatus status = IoStatus::kOk;
-  SimDuration elapsed = 0;
-};
-
-WaitResult WaitOn(FaultRig* rig, uint64_t id) {
-  WaitResult out;
-  bool done = false;
-  auto body = [](FaultRig* rig, uint64_t id, WaitResult* out, bool* done) -> Task<void> {
-    SimTime t0 = rig->engine.Now();
-    out->status = co_await rig->driver->WaitFor(id);
-    out->elapsed = rig->engine.Now() - t0;
-    *done = true;
-  };
-  rig->engine.Spawn(body(rig, id, &out, &done), "waiter");
-  rig->engine.Run();
-  EXPECT_TRUE(done);
-  return out;
-}
 
 TEST(DriverRetryTest, TransientErrorRetriesThenSucceeds) {
   FaultRig rig;
@@ -323,6 +270,121 @@ TEST(QueuedRetryTest, ExhaustedRetriesFailOnlyTheFaultedCommand) {
   EXPECT_EQ(rig.Counter("driver.gave_up"), 1u);
   EXPECT_EQ(rig.driver->PendingCount(), 0u);
   EXPECT_EQ(rig.driver->DeviceQueueSize(), 0u);
+}
+
+// --- Silent damage: the device reports success but the media transfer
+// is torn or misdirected. The driver must not retry (it cannot see the
+// lie), the request must complete kOk, and the image must show exactly
+// the modelled damage - which the injector's ledger classifies.
+
+TEST(SilentDamageTest, TornWritePersistsOnlyTheSectorPrefix) {
+  FaultRig rig;
+  BlockData old;
+  old.fill(0xaa);
+  rig.image.Write(30, old, 0);
+  rig.faults.Script({FaultKind::kTornWrite});
+  uint64_t id = rig.Write(30, 0x5c);
+  WaitResult w = WaitOn(&rig, id);
+  EXPECT_EQ(w.status, IoStatus::kOk);  // The device lied: success.
+  EXPECT_EQ(rig.Counter("driver.retries"), 0u);
+  BlockData d;
+  rig.image.Read(30, &d);
+  EXPECT_EQ(d[0], 0x5c);
+  EXPECT_EQ(d[kTornPersistBytes - 1], 0x5c);
+  EXPECT_EQ(d[kTornPersistBytes], 0xaa);  // The tail kept the old content.
+  EXPECT_EQ(d[kBlockSize - 1], 0xaa);
+  EXPECT_EQ(rig.image.TornWriteCount(), 1u);
+  ASSERT_EQ(rig.faults.Damage().size(), 1u);
+  EXPECT_EQ(rig.faults.Damage()[0].kind, FaultKind::kTornWrite);
+  EXPECT_EQ(rig.faults.Damage()[0].blkno, 30u);
+}
+
+TEST(SilentDamageTest, TornMultiBlockTransferDropsTheTail) {
+  FaultRig rig;
+  rig.faults.Script({FaultKind::kTornWrite});
+  uint64_t id = rig.driver->IssueWrite(
+      200, {MakeBlock(1), MakeBlock(2), MakeBlock(3), MakeBlock(4)});
+  WaitResult w = WaitOn(&rig, id);
+  EXPECT_EQ(w.status, IoStatus::kOk);
+  // Blocks [0, count/2) land whole, block count/2 lands torn, the rest of
+  // the transfer never reaches the medium.
+  BlockData d;
+  rig.image.Read(200, &d);
+  EXPECT_EQ(d[0], 1);
+  EXPECT_EQ(d[kBlockSize - 1], 1);
+  rig.image.Read(201, &d);
+  EXPECT_EQ(d[0], 2);
+  EXPECT_EQ(d[kBlockSize - 1], 2);
+  rig.image.Read(202, &d);
+  EXPECT_EQ(d[0], 3);
+  EXPECT_EQ(d[kBlockSize - 1], 0);  // Torn block: tail stayed (zero) stale.
+  EXPECT_FALSE(rig.image.EverWritten(203));
+  EXPECT_EQ(rig.image.TornWriteCount(), 1u);
+}
+
+TEST(SilentDamageTest, MisdirectedWriteLandsOnTheVictimRange) {
+  FaultRig rig;
+  BlockData old;
+  old.fill(0xbb);
+  rig.image.Write(300, old, 0);
+  rig.image.Write(301, old, 0);
+  rig.faults.Script({FaultKind::kMisdirected});
+  uint64_t id = rig.driver->IssueWrite(300, {MakeBlock(0x0c), MakeBlock(0x0d)});
+  WaitResult w = WaitOn(&rig, id);
+  EXPECT_EQ(w.status, IoStatus::kOk);
+  EXPECT_EQ(rig.Counter("driver.retries"), 0u);
+  // The intended range kept its stale content; the slipped range (one
+  // transfer length forward) took the payload.
+  BlockData d;
+  rig.image.Read(300, &d);
+  EXPECT_EQ(d[0], 0xbb);
+  rig.image.Read(301, &d);
+  EXPECT_EQ(d[0], 0xbb);
+  rig.image.Read(302, &d);
+  EXPECT_EQ(d[0], 0x0c);
+  rig.image.Read(303, &d);
+  EXPECT_EQ(d[0], 0x0d);
+  ASSERT_EQ(rig.faults.Damage().size(), 1u);
+  EXPECT_EQ(rig.faults.Damage()[0].kind, FaultKind::kMisdirected);
+  EXPECT_EQ(rig.faults.Damage()[0].victim, 302u);
+}
+
+TEST(SilentDamageTest, MisdirectVictimNeverHitsTheSuperblock) {
+  EXPECT_EQ(FaultInjector::MisdirectVictim(100, 1, 1000), 101u);  // Forward slip.
+  EXPECT_EQ(FaultInjector::MisdirectVictim(999, 1, 1000), 998u);  // Backward at the edge.
+  EXPECT_EQ(FaultInjector::MisdirectVictim(50, 4, 0), 54u);       // Unknown size: forward.
+  EXPECT_EQ(FaultInjector::MisdirectVictim(0, 1, 1), 0u);         // Degenerate: stays put.
+}
+
+TEST(SilentDamageTest, ReadsAreImmuneToSilentDamageKinds) {
+  FaultRig rig;
+  BlockData src;
+  src.fill(0x77);
+  rig.image.Write(80, src, 0);
+  rig.faults.Script({FaultKind::kTornWrite});
+  BlockData out;
+  uint64_t id = rig.driver->IssueRead(80, &out);
+  WaitResult w = WaitOn(&rig, id);
+  EXPECT_EQ(w.status, IoStatus::kOk);
+  EXPECT_EQ(out[0], 0x77);
+  EXPECT_TRUE(rig.faults.Damage().empty());  // Downgraded before recording.
+}
+
+TEST(QueuedRetryTest, SilentDamageCompletesQueueSiblingsWithoutRetry) {
+  DriverConfig cfg;
+  cfg.queue_depth = 4;
+  FaultRig rig({}, cfg);
+  rig.faults.Script({FaultKind::kTornWrite});
+  uint64_t a = rig.Write(500, 1);
+  uint64_t b = rig.Write(300, 2);
+  uint64_t c = rig.Write(700, 3);
+  rig.engine.Run();
+  EXPECT_EQ(rig.Counter("driver.retries"), 0u);
+  for (uint64_t id : {a, b, c}) {
+    EXPECT_EQ(rig.driver->CompletionStatus(id), IoStatus::kOk);
+  }
+  EXPECT_EQ(rig.image.TornWriteCount(), 1u);
+  ASSERT_EQ(rig.faults.Damage().size(), 1u);
 }
 
 TEST(DriverRetryTest, SameSeedProducesIdenticalFaultSchedules) {

@@ -104,6 +104,46 @@ TEST(FaultInjectionTest, QueuedFaultRunsAreByteIdentical) {
   EXPECT_EQ(a.stats_json, b.stats_json);
 }
 
+// Silent-damage smoke (tier 1): under the adversarial config the device
+// lies - no op may fail, no request is retried for these kinds - and the
+// damage the ledger records must be repairable by the scheme's recovery.
+// The exhaustive scheme x kind x depth x personality matrix lives in
+// scenario_matrix_test.cc (slow label).
+TEST(FaultInjectionTest, AdversarialDamageIsRecordedAndRepairable) {
+  TreeSpec tree = SmallFaultTree();
+  for (Scheme s : {Scheme::kSoftUpdates, Scheme::kJournaling}) {
+    SCOPED_TRACE(SchemeName(s));
+    FaultRunResult r =
+        RunFaultWorkloadWithConfig(s, FaultConfig::Adversarial(0.05, 7), tree);
+    // The device reported success everywhere: every op completed.
+    EXPECT_EQ(r.populate, FsStatus::kOk);
+    EXPECT_EQ(r.copy, FsStatus::kOk);
+    EXPECT_EQ(r.remove, FsStatus::kOk);
+    EXPECT_EQ(r.gave_up, 0u);
+    EXPECT_GT(r.injected, 0u);       // The sweep is non-vacuous...
+    EXPECT_FALSE(r.damage.empty());  // ...and the ledger classified it.
+    for (const auto& d : r.damage) {
+      EXPECT_TRUE(d.kind == FaultKind::kTornWrite || d.kind == FaultKind::kMisdirected);
+    }
+    EXPECT_TRUE(r.fsck_clean || r.fsck_repaired_clean) << r.fsck_detail;
+  }
+}
+
+TEST(FaultInjectionTest, AdversarialSameSeedRunsAreByteIdentical) {
+  TreeSpec tree = SmallFaultTree();
+  FaultConfig fc = FaultConfig::Adversarial(0.05, 7);
+  FaultRunResult a = RunFaultWorkloadWithConfig(Scheme::kSoftUpdates, fc, tree);
+  FaultRunResult b = RunFaultWorkloadWithConfig(Scheme::kSoftUpdates, fc, tree);
+  EXPECT_GT(a.injected, 0u);
+  EXPECT_EQ(a.stats_json, b.stats_json);
+  ASSERT_EQ(a.damage.size(), b.damage.size());
+  for (size_t i = 0; i < a.damage.size(); ++i) {
+    EXPECT_EQ(a.damage[i].kind, b.damage[i].kind);
+    EXPECT_EQ(a.damage[i].blkno, b.damage[i].blkno);
+    EXPECT_EQ(a.damage[i].victim, b.damage[i].victim);
+  }
+}
+
 TEST(FaultInjectionTest, DifferentSeedsChangeTheFaultSchedule) {
   TreeSpec tree = SmallFaultTree();
   FaultRunResult a = RunFaultWorkload(Scheme::kConventional, kDenseRate, 1, tree);

@@ -86,5 +86,75 @@ TEST(GoldenStatsTest, SoftUpdatesCopyStatsMatchGolden) {
   CheckGolden(Scheme::kSoftUpdates, "soft_updates_copy_seed42.json");
 }
 
+// --- Workload personality goldens: the zero-fault stats surface of each
+// personality, pinned byte-for-byte on one representative scheme each so
+// the four of them jointly cover most scheme mechanisms.
+
+using PersonalityFn = Task<FsStatus> (*)(Machine&, Proc&, const std::string&, uint64_t,
+                                         int, PersonalityOpMix*);
+
+std::string RunPersonalityGolden(Scheme scheme, PersonalityFn fn) {
+  MachineConfig cfg;
+  cfg.scheme = scheme;
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  auto root = [](Machine* m, Proc* p, PersonalityFn fn, bool* done) -> Task<void> {
+    co_await m->Boot(*p);
+    FsStatus s = co_await fn(*m, *p, "/w", 42, 120, nullptr);
+    EXPECT_EQ(s, FsStatus::kOk);
+    co_await m->Shutdown(*p);
+    *done = true;
+  };
+  m.engine().Spawn(root(&m, &p, fn, &done), "w");
+  m.engine().RunUntil([&] { return done; });
+  EXPECT_TRUE(done);
+  return m.DumpStatsJson();
+}
+
+void CheckPersonalityGolden(Scheme scheme, PersonalityFn fn, const std::string& file) {
+  std::string actual = RunPersonalityGolden(scheme, fn);
+  ASSERT_FALSE(actual.empty());
+  std::string path = GoldenPath(file);
+  if (RegenMode()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual << "\n";
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with MUFS_REGEN_GOLDEN=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string expected = buf.str();
+  if (!expected.empty() && expected.back() == '\n') {
+    expected.pop_back();
+  }
+  EXPECT_EQ(actual, expected)
+      << "golden stats drifted for " << file
+      << "; if the change is intentional, regenerate with MUFS_REGEN_GOLDEN=1";
+}
+
+TEST(GoldenStatsTest, MailServerStatsMatchGolden) {
+  CheckPersonalityGolden(Scheme::kSoftUpdates, &MailServerWorkload,
+                         "mail_soft_updates_seed42.json");
+}
+
+TEST(GoldenStatsTest, BuildFarmStatsMatchGolden) {
+  CheckPersonalityGolden(Scheme::kConventional, &BuildFarmWorkload,
+                         "build_farm_conventional_seed42.json");
+}
+
+TEST(GoldenStatsTest, WebAssetSwapStatsMatchGolden) {
+  CheckPersonalityGolden(Scheme::kSchedulerFlag, &WebAssetSwapWorkload,
+                         "web_asset_scheduler_flag_seed42.json");
+}
+
+TEST(GoldenStatsTest, CacheCleanupStatsMatchGolden) {
+  CheckPersonalityGolden(Scheme::kJournaling, &CacheCleanupWorkload,
+                         "cache_cleanup_journaling_seed42.json");
+}
+
 }  // namespace
 }  // namespace mufs

@@ -157,6 +157,119 @@ TEST(JournalRecoveryTest, ChecksumMismatchDiscardsTransaction) {
   EXPECT_NE(got, payload);
 }
 
+// Torn log damage: the commit record (which fits in the block's atomic
+// first sector) persisted, but the payload sector tail did not - the
+// dangerous half-case of a power cut mid-commit. The checksum over the
+// full payload must catch the tear: the transaction is discarded and
+// reported as torn, never half-applied.
+TEST(JournalRecoveryTest, TornPayloadUnderValidCommitIsDetected) {
+  DiskImage img(4096);
+  FileSystem::Mkfs(&img, /*total_inodes=*/512, /*journal_blocks=*/64);
+  const SuperBlock sb = ReadSuper(img);
+  const uint32_t log_first = sb.journal_start + 1;
+  const uint32_t victim = sb.data_start;
+
+  JournalSuperBlock jsb;
+  jsb.log_blocks = sb.journal_blocks - 1;
+  jsb.start_seq = 1;
+  jsb.start_offset = 0;
+  BlockData blk{};
+  std::memcpy(blk.data(), &jsb, sizeof(jsb));
+  img.Write(sb.journal_start, blk, img.LastWriteTime());
+
+  BlockData payload{};
+  payload.fill(0xAB);
+  JournalRecordHeader desc;
+  desc.kind = static_cast<uint32_t>(JournalRecordKind::kDescriptor);
+  desc.seq = 1;
+  desc.count = 1;
+  blk.fill(0);
+  std::memcpy(blk.data(), &desc, sizeof(desc));
+  std::memcpy(blk.data() + sizeof(desc), &victim, sizeof(victim));
+  img.Write(log_first + 0, blk, img.LastWriteTime());
+  // The payload lands TORN: only the sector prefix persists, the tail
+  // stays at its old (zero) content.
+  img.WriteTorn(log_first + 1, payload, img.LastWriteTime());
+  // The commit record lands whole, its checksum computed over the payload
+  // the committer INTENDED to write.
+  JournalCommitRecord commit;
+  commit.h.kind = static_cast<uint32_t>(JournalRecordKind::kCommit);
+  commit.h.seq = 1;
+  commit.h.count = 1;
+  commit.checksum =
+      JournalChecksumUpdate(JournalChecksumSeed(1), payload.data(), kBlockSize);
+  blk.fill(0);
+  std::memcpy(blk.data(), &commit, sizeof(commit));
+  img.Write(log_first + 2, blk, img.LastWriteTime());
+
+  JournalReplayReport report = JournalRecovery(&img).Run();
+  EXPECT_TRUE(report.journal_present);
+  EXPECT_EQ(report.txns_replayed, 0u);
+  EXPECT_TRUE(report.torn_tail) << "torn log damage must be detected and reported";
+  BlockData got;
+  img.Read(victim, &got);
+  EXPECT_NE(got, payload) << "a torn transaction must never be applied";
+
+  // Recovery stays safe under repetition: the horizon did not advance
+  // past the tear, so a second run re-detects it and still applies
+  // nothing.
+  JournalReplayReport again = JournalRecovery(&img).Run();
+  EXPECT_EQ(again.txns_replayed, 0u);
+  EXPECT_TRUE(again.torn_tail);
+  img.Read(victim, &got);
+  EXPECT_NE(got, payload);
+}
+
+// A fully valid transaction from a PREVIOUS pass of the ring (seq below
+// the checkpointed horizon) must not replay: the horizon in the journal
+// superblock, not record validity, decides what is live.
+TEST(JournalRecoveryTest, ValidButStaleRecordIsNotReplayed) {
+  DiskImage img(4096);
+  FileSystem::Mkfs(&img, /*total_inodes=*/512, /*journal_blocks=*/64);
+  const SuperBlock sb = ReadSuper(img);
+  const uint32_t log_first = sb.journal_start + 1;
+  const uint32_t victim = sb.data_start;
+
+  // The horizon says the log starts at seq 5; the ring still holds a
+  // perfectly well-formed, correctly checksummed txn with seq 1 left over
+  // from before the last checkpoint.
+  JournalSuperBlock jsb;
+  jsb.log_blocks = sb.journal_blocks - 1;
+  jsb.start_seq = 5;
+  jsb.start_offset = 0;
+  BlockData blk{};
+  std::memcpy(blk.data(), &jsb, sizeof(jsb));
+  img.Write(sb.journal_start, blk, img.LastWriteTime());
+
+  BlockData payload{};
+  payload.fill(0xEE);
+  JournalRecordHeader desc;
+  desc.kind = static_cast<uint32_t>(JournalRecordKind::kDescriptor);
+  desc.seq = 1;
+  desc.count = 1;
+  blk.fill(0);
+  std::memcpy(blk.data(), &desc, sizeof(desc));
+  std::memcpy(blk.data() + sizeof(desc), &victim, sizeof(victim));
+  img.Write(log_first + 0, blk, img.LastWriteTime());
+  img.Write(log_first + 1, payload, img.LastWriteTime());
+  JournalCommitRecord commit;
+  commit.h.kind = static_cast<uint32_t>(JournalRecordKind::kCommit);
+  commit.h.seq = 1;
+  commit.h.count = 1;
+  commit.checksum =
+      JournalChecksumUpdate(JournalChecksumSeed(1), payload.data(), kBlockSize);
+  blk.fill(0);
+  std::memcpy(blk.data(), &commit, sizeof(commit));
+  img.Write(log_first + 2, blk, img.LastWriteTime());
+
+  JournalReplayReport report = JournalRecovery(&img).Run();
+  EXPECT_TRUE(report.journal_present);
+  EXPECT_EQ(report.txns_replayed, 0u) << "stale records are dead, not replayable";
+  BlockData got;
+  img.Read(victim, &got);
+  EXPECT_NE(got, payload);
+}
+
 MachineConfig JournalConfigFor(uint32_t log_blocks, SimDuration interval) {
   MachineConfig cfg;
   cfg.scheme = Scheme::kJournaling;
