@@ -22,13 +22,19 @@ namespace mufs {
 // --fault-rate=P / --fault-seed=S enable disk fault injection (uniform
 // profile derived from one probability; see FaultConfig::Uniform),
 // --queue-depth=N enables device command queueing (1 = the paper's
-// substrate, byte-identical stats to the pre-queueing driver).
+// substrate, byte-identical stats to the pre-queueing driver),
+// --disks=N builds a striped multi-disk volume with sharded metadata
+// (1 = the exact single-disk machine) and --stripe-unit=K sets its
+// chunk size in blocks (0 keeps the machine default).
 struct BenchArgs {
   int users = 0;
   std::string stats_out;
   double fault_rate = 0;
   uint64_t fault_seed = 1;
   uint32_t queue_depth = 1;
+  uint32_t disks = 1;
+  uint32_t stripe_unit = 0;
+  uint32_t shards = 0;  // 0 = one shard per disk.
 };
 
 // Parses the shared flags, REMOVING recognized arguments from argv so a
@@ -61,6 +67,27 @@ inline BenchArgs ParseBenchArgs(int* argc, char** argv, int default_users = 0) {
       } else {
         std::fprintf(stderr, "warning: ignoring bad %s\n", argv[i]);
       }
+    } else if (a.rfind("--disks=", 0) == 0) {
+      int n = std::atoi(argv[i] + 8);
+      if (n > 0) {
+        args.disks = static_cast<uint32_t>(n);
+      } else {
+        std::fprintf(stderr, "warning: ignoring bad %s\n", argv[i]);
+      }
+    } else if (a.rfind("--stripe-unit=", 0) == 0) {
+      int n = std::atoi(argv[i] + 14);
+      if (n > 0) {
+        args.stripe_unit = static_cast<uint32_t>(n);
+      } else {
+        std::fprintf(stderr, "warning: ignoring bad %s\n", argv[i]);
+      }
+    } else if (a.rfind("--shards=", 0) == 0) {
+      int n = std::atoi(argv[i] + 9);
+      if (n > 0) {
+        args.shards = static_cast<uint32_t>(n);
+      } else {
+        std::fprintf(stderr, "warning: ignoring bad %s\n", argv[i]);
+      }
     } else {
       argv[kept++] = argv[i];
     }
@@ -76,6 +103,11 @@ inline void ApplyFaultArgs(MachineConfig* cfg, const BenchArgs& args) {
     cfg->fault = FaultConfig::Uniform(args.fault_rate, args.fault_seed);
   }
   cfg->queue_depth = args.queue_depth;  // 1 (the default) is a no-op.
+  cfg->disks = args.disks;              // 1 (the default) is a no-op.
+  if (args.stripe_unit > 0) {
+    cfg->stripe_unit = args.stripe_unit;
+  }
+  cfg->shards = args.shards;  // 0 (the default) = one shard per disk.
 }
 
 inline MachineConfig BenchConfig(Scheme scheme, bool alloc_init = false) {

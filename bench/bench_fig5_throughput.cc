@@ -24,12 +24,13 @@ const char* PhaseName(Phase phase) {
 }
 
 double RunPhase(Scheme scheme, Phase phase, int users, int files_per_user,
-                StatsSidecar& sidecar) {
+                const BenchArgs& args, StatsSidecar& sidecar) {
   MachineConfig cfg = BenchConfig(scheme);
+  ApplyFaultArgs(&cfg, args);
   Machine m(cfg);
   SetupFn setup = [users, files_per_user, phase](Machine& mm, Proc& p) -> Task<void> {
     for (int u = 0; u < users; ++u) {
-      (void)co_await mm.fs().Mkdir(p, "/u" + std::to_string(u));
+      (void)co_await mm.vfs().Mkdir(p, "/u" + std::to_string(u));
     }
     if (phase == Phase::kRemove) {
       // Removes operate on freshly created files.
@@ -89,7 +90,7 @@ int Main(const BenchArgs& args) {
     for (Scheme s : AllSchemes()) {
       printf("%-18s", std::string(SchemeName(s)).c_str());
       for (int users : user_counts) {
-        double tput = RunPhase(s, ph.phase, users, kTotalFiles / users, sidecar);
+        double tput = RunPhase(s, ph.phase, users, kTotalFiles / users, args, sidecar);
         printf(" %13.1f", tput);
       }
       printf("\n");

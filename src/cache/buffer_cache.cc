@@ -5,7 +5,7 @@
 
 namespace mufs {
 
-BufferCache::BufferCache(Engine* engine, DiskDriver* driver, CacheConfig config)
+BufferCache::BufferCache(Engine* engine, BlockDevice* driver, CacheConfig config)
     : engine_(engine),
       driver_(driver),
       config_(config),

@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "src/disk/disk_image.h"
-#include "src/driver/disk_driver.h"
+#include "src/driver/block_device.h"
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -159,13 +159,13 @@ struct CacheStats {
 
 class BufferCache {
  public:
-  BufferCache(Engine* engine, DiskDriver* driver, CacheConfig config);
+  BufferCache(Engine* engine, BlockDevice* driver, CacheConfig config);
   BufferCache(const BufferCache&) = delete;
   BufferCache& operator=(const BufferCache&) = delete;
 
   void SetDepHooks(DepHooks* hooks) { hooks_ = hooks; }
   Engine* engine() const { return engine_; }
-  DiskDriver* driver() const { return driver_; }
+  BlockDevice* driver() const { return driver_; }
   const CacheConfig& config() const { return config_; }
   CacheStats stats() const;  // Snapshot of the cache.* counters.
   StatsRegistry* stats_registry() const { return stats_; }
@@ -249,7 +249,7 @@ class BufferCache {
   void Touch(Buf& buf);
 
   Engine* engine_;
-  DiskDriver* driver_;
+  BlockDevice* driver_;
   CacheConfig config_;
   DepHooks* hooks_ = nullptr;
 

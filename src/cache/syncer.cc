@@ -41,6 +41,9 @@ Task<void> SyncerDaemon::DrainWork() {
 }
 
 Task<void> SyncerDaemon::Loop() {
+  if (config_.initial_phase > 0) {
+    co_await engine_->Sleep(config_.initial_phase);
+  }
   while (running_) {
     co_await engine_->Sleep(config_.interval);
     if (!running_) {

@@ -22,6 +22,11 @@ struct SyncerConfig {
   SimDuration interval = Sec(1);
   // Full cache coverage every `sweep_seconds` worth of passes.
   int sweep_seconds = 30;
+  // Extra delay before the FIRST wakeup only. Sharded machines stagger
+  // their shards' syncers across the interval (shard s sleeps an extra
+  // interval*s/S) so S write-back bursts do not land on the volume at
+  // the same instant. 0 (the default) is the exact historical cadence.
+  SimDuration initial_phase = 0;
   // Shared metrics registry; falls back to the cache's when null.
   StatsRegistry* stats = nullptr;
 };

@@ -43,6 +43,34 @@ std::string_view SchemeName(Scheme s) {
 
 namespace {
 
+// The scheme's driver-level ordering discipline. On a single disk it
+// lives in the one DiskDriver; on a multi-disk machine it moves up into
+// the StripedVolume gate and the member drivers run kNone.
+struct OrderingSpec {
+  OrderingMode mode = OrderingMode::kNone;
+  FlagSemantics semantics = FlagSemantics::kPart;
+  bool reads_bypass = false;
+};
+
+OrderingSpec MakeOrderingSpec(const MachineConfig& cfg) {
+  OrderingSpec spec;
+  switch (cfg.scheme) {
+    case Scheme::kSchedulerFlag:
+      spec.mode = cfg.ignore_flags ? OrderingMode::kNone : OrderingMode::kFlag;
+      spec.semantics = cfg.flag_semantics;
+      spec.reads_bypass = cfg.reads_bypass;
+      break;
+    case Scheme::kSchedulerChains:
+      spec.mode = OrderingMode::kChains;
+      break;
+    default:
+      // Conventional orders by waiting; NoOrder doesn't order; soft
+      // updates orders in the cache layer. The driver runs free.
+      break;
+  }
+  return spec;
+}
+
 DriverConfig MakeDriverConfig(const MachineConfig& cfg, StatsRegistry* stats,
                               FaultInjector* faults) {
   DriverConfig d;
@@ -50,21 +78,10 @@ DriverConfig MakeDriverConfig(const MachineConfig& cfg, StatsRegistry* stats,
   d.stats = stats;
   d.faults = faults;
   d.queue_depth = cfg.queue_depth;
-  switch (cfg.scheme) {
-    case Scheme::kSchedulerFlag:
-      d.mode = cfg.ignore_flags ? OrderingMode::kNone : OrderingMode::kFlag;
-      d.semantics = cfg.flag_semantics;
-      d.reads_bypass = cfg.reads_bypass;
-      break;
-    case Scheme::kSchedulerChains:
-      d.mode = OrderingMode::kChains;
-      break;
-    default:
-      // Conventional orders by waiting; NoOrder doesn't order; soft
-      // updates orders in the cache layer. The driver runs free.
-      d.mode = OrderingMode::kNone;
-      break;
-  }
+  OrderingSpec spec = MakeOrderingSpec(cfg);
+  d.mode = spec.mode;
+  d.semantics = spec.semantics;
+  d.reads_bypass = spec.reads_bypass;
   return d;
 }
 
@@ -100,28 +117,82 @@ std::unique_ptr<OrderingPolicy> MakePolicy(const MachineConfig& cfg, JournalMana
 }  // namespace
 
 Machine::Machine(MachineConfig config) : config_(config) {
-  image_ = std::make_unique<DiskImage>(config_.geometry.total_blocks);
-  model_ = std::make_unique<DiskModel>(config_.geometry);
+  const bool multi = config_.disks > 1 || config_.shards > 1;
+  const size_t ndisks = config_.disks == 0 ? 1 : config_.disks;
+  const size_t nshards = multi ? (config_.shards == 0 ? ndisks : config_.shards) : 1;
+  const uint32_t volume_blocks =
+      static_cast<uint32_t>(ndisks) * config_.geometry.total_blocks;
+  assert(volume_blocks % nshards == 0);
+  shard_blocks_ = volume_blocks / static_cast<uint32_t>(nshards);
+
+  image_ = std::make_unique<DiskImage>(volume_blocks);
   engine_ = std::make_unique<Engine>();
   stats_ = std::make_unique<StatsRegistry>();
   stats_->SetClock([e = engine_.get()] { return e->Now(); });
   if (config_.collect_stats_trace) {
     stats_->EnableTrace(config_.stats_trace_cap);
   }
-  model_->AttachStats(stats_.get());
-  cpu_ = std::make_unique<Cpu>(engine_.get());
-  if (config_.fault.Enabled()) {
-    faults_ = std::make_unique<FaultInjector>(config_.fault);
-    faults_->AttachStats(stats_.get());
-  }
-  driver_ = std::make_unique<DiskDriver>(engine_.get(), model_.get(), image_.get(),
-                                         MakeDriverConfig(config_, stats_.get(), faults_.get()));
-  cache_ = std::make_unique<BufferCache>(engine_.get(), driver_.get(),
-                                         MakeCacheConfig(config_, stats_.get()));
-  SyncerConfig syncer_cfg = config_.syncer;
-  syncer_cfg.stats = stats_.get();
-  syncer_ = std::make_unique<SyncerDaemon>(engine_.get(), cache_.get(), syncer_cfg);
+  const uint32_t ncpus =
+      config_.cpus > 0 ? config_.cpus : static_cast<uint32_t>(ndisks);
+  cpu_ = std::make_unique<Cpu>(engine_.get(), Msec(1), ncpus);
 
+  VolumeLayout layout;
+  layout.disks = static_cast<uint32_t>(ndisks);
+  // Auto (0): shard-aligned striping. With S >= N shards the unit is one
+  // shard region (shard s -> disk s % N, fully contiguous); with fewer
+  // shards it is one disk's worth, which still concatenates cleanly.
+  layout.stripe_unit = config_.stripe_unit > 0
+                           ? config_.stripe_unit
+                           : std::min(shard_blocks_, config_.geometry.total_blocks);
+  layout.blocks_per_disk = config_.geometry.total_blocks;
+
+  // --- per-disk stacks: model + fault injector + driver ---------------
+  for (size_t d = 0; d < ndisks; ++d) {
+    std::string instance = multi ? "disk" + std::to_string(d) : "";
+    auto model = std::make_unique<DiskModel>(config_.geometry);
+    model->AttachStats(stats_.get(), instance);
+    FaultInjector* fi = nullptr;
+    if (config_.fault.Enabled()) {
+      FaultConfig fc = config_.fault;
+      fc.seed += d;  // Independent fault streams per spindle.
+      faults_.push_back(std::make_unique<FaultInjector>(fc));
+      faults_.back()->AttachStats(stats_.get(), instance);
+      fi = faults_.back().get();
+    }
+    DriverConfig dcfg = MakeDriverConfig(config_, stats_.get(), fi);
+    if (multi) {
+      dcfg.instance = instance;
+      // The volume gate owns the scheme's ordering; member disks run free.
+      dcfg.mode = OrderingMode::kNone;
+      // Member drivers address their own disk; the shared image is
+      // volume-addressed.
+      dcfg.image_map = [layout, d](uint32_t local) {
+        return layout.ToVolume(static_cast<uint32_t>(d), local);
+      };
+    }
+    drivers_.push_back(std::make_unique<DiskDriver>(engine_.get(), model.get(),
+                                                    image_.get(), dcfg));
+    models_.push_back(std::move(model));
+  }
+
+  if (multi) {
+    VolumeConfig vcfg;
+    vcfg.layout = layout;
+    OrderingSpec spec = MakeOrderingSpec(config_);
+    vcfg.mode = spec.mode;
+    vcfg.semantics = spec.semantics;
+    vcfg.reads_bypass = spec.reads_bypass;
+    vcfg.stats = stats_.get();
+    std::vector<DiskDriver*> members;
+    for (auto& drv : drivers_) {
+      members.push_back(drv.get());
+    }
+    volume_ = std::make_unique<StripedVolume>(engine_.get(), std::move(members), vcfg);
+  }
+
+  // --- per-shard stacks: device view + cache + syncer + fs (+ journal) -
+  const uint32_t journal_blocks =
+      config_.scheme == Scheme::kJournaling ? config_.journal_log_blocks : 0;
   FsConfig fs_cfg;
   // The paper's "Alloc. Init." toggle applies to regular file data for
   // every scheme (Table 1 has N/Y rows even for soft updates; enforcing
@@ -129,21 +200,66 @@ Machine::Machine(MachineConfig config) : config_(config) {
   fs_cfg.alloc_init = config_.alloc_init;
   fs_cfg.costs = config_.cpu_costs;
   fs_cfg.stats = stats_.get();
-  fs_ = std::make_unique<FileSystem>(engine_.get(), cpu_.get(), cache_.get(), syncer_.get(),
-                                     fs_cfg);
-  if (config_.format) {
-    FileSystem::Mkfs(image_.get(), config_.total_inodes,
-                     config_.scheme == Scheme::kJournaling ? config_.journal_log_blocks : 0);
+
+  for (size_t s = 0; s < nshards; ++s) {
+    BlockDevice* dev;
+    if (multi) {
+      shard_devs_.push_back(
+          std::make_unique<ShardDevice>(engine_.get(), volume_.get(), ShardBase(s)));
+      dev = shard_devs_.back().get();
+    } else {
+      dev = drivers_[0].get();
+    }
+    caches_.push_back(std::make_unique<BufferCache>(engine_.get(), dev,
+                                                    MakeCacheConfig(config_, stats_.get())));
+    SyncerConfig syncer_cfg = config_.syncer;
+    syncer_cfg.stats = stats_.get();
+    // Stagger the shards' syncer cadences across the interval so S
+    // write-back bursts do not land on the volume at the same instant.
+    syncer_cfg.initial_phase =
+        syncer_cfg.interval * static_cast<SimDuration>(s) / static_cast<SimDuration>(nshards);
+    syncers_.push_back(
+        std::make_unique<SyncerDaemon>(engine_.get(), caches_.back().get(), syncer_cfg));
+    fss_.push_back(std::make_unique<FileSystem>(engine_.get(), cpu_.get(),
+                                                caches_.back().get(), syncers_.back().get(),
+                                                fs_cfg));
+    if (config_.format) {
+      if (multi) {
+        // Each shard is a complete file system formatted into its own
+        // region of the volume image.
+        DiskImage fresh(shard_blocks_);
+        FileSystem::Mkfs(&fresh, config_.total_inodes, journal_blocks);
+        BlockData blk;
+        for (uint32_t blkno : fresh.WrittenBlocks()) {
+          fresh.Read(blkno, &blk);
+          image_->Write(ShardBase(s) + blkno, blk, 0);
+        }
+      } else {
+        FileSystem::Mkfs(image_.get(), config_.total_inodes, journal_blocks);
+      }
+    }
+    if (config_.scheme == Scheme::kJournaling) {
+      JournalConfig jcfg;
+      jcfg.commit_interval = config_.journal_commit_interval;
+      jcfg.image_lba_base = ShardBase(s);
+      journals_.push_back(std::make_unique<JournalManager>(engine_.get(), dev,
+                                                           caches_.back().get(), image_.get(),
+                                                           stats_.get(), jcfg));
+      journals_.back()->AttachFs(fss_.back().get());
+    }
+    policies_.push_back(
+        MakePolicy(config_, journals_.empty() ? nullptr : journals_.back().get()));
+    fss_.back()->SetPolicy(policies_.back().get());
   }
-  if (config_.scheme == Scheme::kJournaling) {
-    JournalConfig jcfg;
-    jcfg.commit_interval = config_.journal_commit_interval;
-    journal_ = std::make_unique<JournalManager>(engine_.get(), driver_.get(), cache_.get(),
-                                                image_.get(), stats_.get(), jcfg);
-    journal_->AttachFs(fs_.get());
+
+  if (multi) {
+    std::vector<FileSystem*> shards;
+    for (auto& fs : fss_) {
+      shards.push_back(fs.get());
+    }
+    sharded_ = std::make_unique<ShardedFs>(engine_.get(), std::move(shards),
+                                           config_.total_inodes);
   }
-  policy_ = MakePolicy(config_, journal_.get());
-  fs_->SetPolicy(policy_.get());
 }
 
 Machine::~Machine() {
@@ -162,39 +278,52 @@ Proc Machine::MakeProc(std::string name) {
 Task<void> Machine::Boot(Proc& proc) {
   if (config_.scheme == Scheme::kJournaling) {
     // Crash recovery: replay committed log transactions into the image
-    // before the file system reads anything from it.
-    last_replay_ = JournalRecovery(image_.get()).Run();
+    // before the file systems read anything from it - each shard's
+    // journal in place in its own region.
+    last_replay_ = {};
+    for (size_t s = 0; s < fss_.size(); ++s) {
+      JournalReplayReport r = JournalRecovery(image_.get(), ShardBase(s)).Run();
+      last_replay_.journal_present = last_replay_.journal_present || r.journal_present;
+      last_replay_.txns_replayed += r.txns_replayed;
+      last_replay_.blocks_replayed += r.blocks_replayed;
+      last_replay_.log_blocks_scanned += r.log_blocks_scanned;
+      last_replay_.torn_tail = last_replay_.torn_tail || r.torn_tail;
+      if (r.torn_tail) {
+        stats_->counter("journal.replay_torn_tails").Inc();
+      }
+    }
     stats_->counter("journal.replay_txns").Inc(last_replay_.txns_replayed);
     stats_->counter("journal.replay_blocks").Inc(last_replay_.blocks_replayed);
-    if (last_replay_.torn_tail) {
-      stats_->counter("journal.replay_torn_tails").Inc();
-    }
   }
-  FsStatus s = co_await fs_->Mount(proc);
-  (void)s;
-  assert(s == FsStatus::kOk);
-  syncer_->Start();
-  if (journal_ != nullptr) {
-    co_await journal_->Start();
+  for (auto& fs : fss_) {
+    FsStatus s = co_await fs->Mount(proc);
+    (void)s;
+    assert(s == FsStatus::kOk);
+  }
+  for (auto& syncer : syncers_) {
+    syncer->Start();
+  }
+  for (auto& journal : journals_) {
+    co_await journal->Start();
   }
 }
 
 Task<void> Machine::Shutdown(Proc& proc) {
-  co_await fs_->SyncEverything(proc);
-  if (journal_ != nullptr) {
-    journal_->Stop();
+  co_await vfs().SyncEverything(proc);
+  for (auto& journal : journals_) {
+    journal->Stop();
   }
-  syncer_->Stop();
+  for (auto& syncer : syncers_) {
+    syncer->Stop();
+  }
 }
 
 std::string Machine::DumpStatsJson() const {
   // Identity + derived figures first, then the raw registry dump. All
   // deterministic: sorted keys, sim-clock timestamps, %.9g doubles.
-  uint64_t busy = stats_->counter("disk.busy_ns").value();
   uint64_t hits = stats_->counter("cache.hits").value();
   uint64_t misses = stats_->counter("cache.misses").value();
   SimTime now = engine_->Now();
-  double utilization = now > 0 ? static_cast<double>(busy) / static_cast<double>(now) : 0.0;
   double hit_rate =
       hits + misses > 0 ? static_cast<double>(hits) / static_cast<double>(hits + misses) : 0.0;
 
@@ -206,8 +335,33 @@ std::string Machine::DumpStatsJson() const {
   out += std::to_string(now);
   out += ",\"derived\":{\"cache.hit_rate\":";
   out += JsonDouble(hit_rate);
-  out += ",\"disk.utilization\":";
-  out += JsonDouble(utilization);
+  if (volume_ == nullptr) {
+    uint64_t busy = stats_->counter("disk.busy_ns").value();
+    double utilization = now > 0 ? static_cast<double>(busy) / static_cast<double>(now) : 0.0;
+    out += ",\"disk.utilization\":";
+    out += JsonDouble(utilization);
+  } else {
+    // Aggregate utilization (busy spindle-time over total spindle-time),
+    // then each member disk's own figure. Key order stays lexicographic:
+    // "disk." sorts before "disk0".
+    uint64_t busy_total = 0;
+    std::vector<uint64_t> busy(drivers_.size(), 0);
+    for (size_t d = 0; d < drivers_.size(); ++d) {
+      busy[d] = stats_->counter("disk" + std::to_string(d) + ".busy_ns").value();
+      busy_total += busy[d];
+    }
+    double aggregate = now > 0 ? static_cast<double>(busy_total) /
+                                     (static_cast<double>(now) *
+                                      static_cast<double>(drivers_.size()))
+                               : 0.0;
+    out += ",\"disk.utilization\":";
+    out += JsonDouble(aggregate);
+    for (size_t d = 0; d < drivers_.size(); ++d) {
+      double u = now > 0 ? static_cast<double>(busy[d]) / static_cast<double>(now) : 0.0;
+      out += ",\"disk" + std::to_string(d) + ".utilization\":";
+      out += JsonDouble(u);
+    }
+  }
   out += "},\"metrics\":";
   out += stats_->DumpJson();
   out += "}";

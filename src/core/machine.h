@@ -1,6 +1,7 @@
-// Machine: assembles the full simulated system - engine, CPU, disk,
-// driver, buffer cache, syncer daemon, file system and ordering policy -
-// from one config. This is the library's main entry point.
+// Machine: assembles the full simulated system - engine, CPU, disk(s),
+// driver(s), buffer cache(s), syncer daemon(s), file system(s) and
+// ordering policy - from one config. This is the library's main entry
+// point.
 //
 //   MachineConfig cfg;
 //   cfg.scheme = Scheme::kSoftUpdates;
@@ -8,11 +9,20 @@
 //   Proc user = m.MakeProc("user1");
 //   m.engine().Spawn(MyWorkload(&m, &user), "user1");
 //   m.engine().RunUntil([&] { return done; });
+//
+// With config.disks > 1 (or config.shards > 1) the machine becomes a
+// striped multi-disk volume (src/volume/): N full disk stacks behind a
+// StripedVolume, the block space partitioned into S shard regions, each
+// running its own FileSystem + cache + syncer (+ journal), all glued
+// together by a ShardedFs that routes operations by leaf-name hash.
+// disks == 1 (the default) is the EXACT single-disk machine: no volume
+// is constructed and no volume/per-disk metrics are registered.
 #ifndef MUFS_SRC_CORE_MACHINE_H_
 #define MUFS_SRC_CORE_MACHINE_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/cache/buffer_cache.h"
 #include "src/cache/syncer.h"
@@ -22,10 +32,13 @@
 #include "src/driver/disk_driver.h"
 #include "src/fault/fault_injector.h"
 #include "src/fs/filesystem.h"
+#include "src/fs/fs_interface.h"
 #include "src/journal/journal_manager.h"
 #include "src/journal/journal_recovery.h"
 #include "src/sim/cpu.h"
 #include "src/sim/engine.h"
+#include "src/volume/sharded_fs.h"
+#include "src/volume/volume.h"
 
 namespace mufs {
 
@@ -79,8 +92,32 @@ struct MachineConfig {
 
   // Disk fault injection (off by default: all rates zero). When enabled
   // the driver consults the injector on every service attempt and runs
-  // its retry/remap/timeout recovery path.
+  // its retry/remap/timeout recovery path. Multi-disk machines give disk
+  // d an independent injector seeded fault.seed + d.
   FaultConfig fault;
+
+  // Striped multi-disk volume (--disks / --stripe-unit): each member
+  // disk gets its own `geometry`-sized model, fault injector and driver;
+  // volume LBAs stripe over them in stripe_unit-block chunks. 1 = the
+  // exact single-disk machine (no volume layer at all).
+  //
+  // stripe_unit 0 (the default) is shard-aligned placement: the unit is
+  // sized so each shard's region lands contiguously on one member disk
+  // (shards then scale with spindles - each arm stays inside its own
+  // metadata zone). An explicit unit interleaves finely instead; that
+  // buys intra-file parallelism but every arm then serves every shard's
+  // hot metadata zones, and the seek cost usually dominates.
+  uint32_t disks = 1;
+  uint32_t stripe_unit = 0;
+  // Metadata shards on the volume; 0 = one per disk. Each shard is a
+  // complete file system owning volume region [s*SB, (s+1)*SB). Only
+  // meaningful when the machine is multi (disks > 1 or shards > 1).
+  uint32_t shards = 0;
+  // CPU cores; 0 = one per disk (the scale-out node adds a core with
+  // every spindle, so a multi-disk machine is N of the paper's machines
+  // behind one namespace). Single-disk machines stay the paper's 1-CPU
+  // i486 either way.
+  uint32_t cpus = 0;
 
   DiskGeometry geometry;
   size_t cache_capacity_blocks = 8192;
@@ -108,22 +145,50 @@ class Machine {
   const MachineConfig& config() const { return config_; }
   Engine& engine() { return *engine_; }
   Cpu& cpu() { return *cpu_; }
+  // The stable-storage image. Multi-disk machines share ONE
+  // volume-addressed image across all member drivers, so WriteCount(),
+  // ArmTornWrite() and CrashNow() keep their machine-wide meaning.
   DiskImage& image() { return *image_; }
-  DiskModel& disk() { return *model_; }
-  DiskDriver& driver() { return *driver_; }
-  BufferCache& cache() { return *cache_; }
-  SyncerDaemon& syncer() { return *syncer_; }
+  DiskModel& disk() { return *models_[0]; }
+  DiskModel& disk(size_t d) { return *models_[d]; }
+  DiskDriver& driver() { return *drivers_[0]; }
+  DiskDriver& driver(size_t d) { return *drivers_[d]; }
+  BufferCache& cache() { return *caches_[0]; }
+  BufferCache& cache(size_t s) { return *caches_[s]; }
+  SyncerDaemon& syncer() { return *syncers_[0]; }
+  SyncerDaemon& syncer(size_t s) { return *syncers_[s]; }
   // Null unless config.fault has a non-zero rate or scripted entries.
-  FaultInjector* faults() { return faults_.get(); }
-  FileSystem& fs() { return *fs_; }
-  OrderingPolicy& policy() { return *policy_; }
-  // Null unless the scheme is kJournaling.
-  JournalManager* journal() { return journal_.get(); }
+  FaultInjector* faults() { return faults_.empty() ? nullptr : faults_[0].get(); }
+  FaultInjector* faults(size_t d) { return faults_[d].get(); }
+  // Shard 0's file system (the only one on a single-disk machine).
+  FileSystem& fs() { return *fss_[0]; }
+  FileSystem& fs(size_t s) { return *fss_[s]; }
+  // The operation surface workloads should use: the ShardedFs router on
+  // a multi machine, the plain FileSystem otherwise.
+  FsInterface& vfs() {
+    return sharded_ != nullptr ? static_cast<FsInterface&>(*sharded_) : *fss_[0];
+  }
+  OrderingPolicy& policy() { return *policies_[0]; }
+  // Null unless the scheme is kJournaling (shard 0's journal on multi).
+  JournalManager* journal() { return journals_.empty() ? nullptr : journals_[0].get(); }
+  JournalManager* journal(size_t s) { return journals_[s].get(); }
+  // Null unless the machine is multi.
+  StripedVolume* volume() { return volume_.get(); }
+  ShardedFs* sharded() { return sharded_.get(); }
   // Result of the crash-recovery replay run by the last Boot (all zeros
-  // for non-journaling schemes and fresh images).
+  // for non-journaling schemes and fresh images; summed over shards).
   const JournalReplayReport& last_replay() const { return last_replay_; }
   StatsRegistry& stats() { return *stats_; }
   const StatsRegistry& stats() const { return *stats_; }
+
+  // --- multi-disk topology -------------------------------------------
+  size_t NumDisks() const { return drivers_.size(); }
+  size_t NumShards() const { return fss_.size(); }
+  bool IsMulti() const { return volume_ != nullptr; }
+  uint32_t ShardBlocks() const { return shard_blocks_; }
+  uint32_t ShardBase(size_t s) const { return static_cast<uint32_t>(s) * shard_blocks_; }
+  // Global inode number stride between shards (= per-shard inode count).
+  uint32_t InoStride() const { return config_.total_inodes; }
 
   // All metrics plus derived figures (disk utilization, cache hit rate)
   // and run identity (scheme, seed, simulated time) as one deterministic
@@ -132,8 +197,9 @@ class Machine {
 
   Proc MakeProc(std::string name);
 
-  // Mounts the file system and starts the syncer daemon. Run inside the
-  // engine (spawn or as part of a workload) before any FS operation.
+  // Mounts the file system(s) and starts the syncer daemon(s). Run
+  // inside the engine (spawn or as part of a workload) before any FS
+  // operation.
   Task<void> Boot(Proc& proc);
 
   // Replaces the disk image contents (remounting a previously saved
@@ -145,23 +211,27 @@ class Machine {
   // completion); nothing in memory survives.
   DiskImage CrashNow() const { return image_->Snapshot(); }
 
-  // Orderly shutdown: flush everything, stop the syncer.
+  // Orderly shutdown: flush everything, stop the syncers.
   Task<void> Shutdown(Proc& proc);
 
  private:
   MachineConfig config_;
+  uint32_t shard_blocks_ = 0;
   std::unique_ptr<StatsRegistry> stats_;
   std::unique_ptr<DiskImage> image_;
-  std::unique_ptr<DiskModel> model_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<Cpu> cpu_;
-  std::unique_ptr<FaultInjector> faults_;  // Before driver_: outlives it.
-  std::unique_ptr<DiskDriver> driver_;
-  std::unique_ptr<BufferCache> cache_;
-  std::unique_ptr<SyncerDaemon> syncer_;
-  std::unique_ptr<FileSystem> fs_;
-  std::unique_ptr<JournalManager> journal_;
-  std::unique_ptr<OrderingPolicy> policy_;
+  std::vector<std::unique_ptr<DiskModel>> models_;
+  std::vector<std::unique_ptr<FaultInjector>> faults_;  // Before drivers: outlive them.
+  std::vector<std::unique_ptr<DiskDriver>> drivers_;
+  std::unique_ptr<StripedVolume> volume_;              // Multi only.
+  std::vector<std::unique_ptr<ShardDevice>> shard_devs_;  // Multi only.
+  std::vector<std::unique_ptr<BufferCache>> caches_;
+  std::vector<std::unique_ptr<SyncerDaemon>> syncers_;
+  std::vector<std::unique_ptr<FileSystem>> fss_;
+  std::vector<std::unique_ptr<JournalManager>> journals_;  // Empty unless journaling.
+  std::vector<std::unique_ptr<OrderingPolicy>> policies_;
+  std::unique_ptr<ShardedFs> sharded_;                 // Multi only.
   JournalReplayReport last_replay_;
   Pid next_pid_ = 1;
 };

@@ -114,7 +114,7 @@ Task<void> ConventionalPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef dat
     // Synchronously write zeroes to the new block before the pointer can
     // reach its carrier. The reserved zero block is the I/O source
     // (section 3.3), so the data buffer itself is never locked.
-    DiskDriver* driver = fs()->cache()->driver();
+    BlockDevice* driver = fs()->cache()->driver();
     uint64_t id = driver->IssueWrite(data_buf->blkno(), {fs()->cache()->ZeroBlock()});
     SimTime t0 = fs()->engine()->Now();
     IoStatus init_status = co_await driver->WaitFor(id);
@@ -322,13 +322,13 @@ std::vector<uint64_t> SchedulerChainPolicy::ReuseDeps(uint32_t blkno) {
   std::vector<uint64_t> deps = std::move(it->second);
   block_reuse_deps_.erase(it);
   // Drop already-completed requests.
-  DiskDriver* driver = fs()->cache()->driver();
+  BlockDevice* driver = fs()->cache()->driver();
   std::erase_if(deps, [&](uint64_t id) { return driver->IsComplete(id); });
   return deps;
 }
 
 std::vector<uint64_t> SchedulerChainPolicy::BarrierDeps() {
-  DiskDriver* driver = fs()->cache()->driver();
+  BlockDevice* driver = fs()->cache()->driver();
   std::erase_if(barrier_reqs_, [&](uint64_t id) { return driver->IsComplete(id); });
   return barrier_reqs_;
 }

@@ -37,6 +37,7 @@ class NoOrderPolicy final : public OrderingPolicy {
 class ConventionalPolicy final : public OrderingPolicy {
  public:
   std::string_view Name() const override { return "Conventional"; }
+  bool MetadataSynchronous() const override { return true; }
   Task<void> SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf, PtrLoc loc,
                              bool init_required, BlockRole role) override;
   Task<void> SetupBlockFree(Proc& proc, Inode& ip, std::vector<uint32_t> blocks,

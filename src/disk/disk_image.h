@@ -6,6 +6,7 @@
 #ifndef MUFS_SRC_DISK_DISK_IMAGE_H_
 #define MUFS_SRC_DISK_DISK_IMAGE_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
@@ -79,6 +80,34 @@ class DiskImage {
 
   // Snapshot for crash analysis: a deep copy of stable storage.
   DiskImage Snapshot() const { return *this; }
+
+  // Rebases a contiguous region [base, base+count) into a standalone
+  // image whose block 0 is `base`. Used by sharded machines: each shard
+  // is a complete filesystem inside its region of the volume, so fsck
+  // and journal replay run on the extracted region exactly as they
+  // would on a single-disk image.
+  DiskImage ExtractRegion(uint32_t base, uint32_t count) const {
+    DiskImage out(count);
+    for (const auto& [blkno, data] : blocks_) {
+      if (blkno >= base && blkno < base + count) {
+        out.blocks_[blkno - base] = data;
+      }
+    }
+    out.last_write_time_ = last_write_time_;
+    return out;
+  }
+
+  // The set of blocks ever written, in ascending order. Used to scatter
+  // a freshly formatted shard image into its volume region.
+  std::vector<uint32_t> WrittenBlocks() const {
+    std::vector<uint32_t> out;
+    out.reserve(blocks_.size());
+    for (const auto& [blkno, data] : blocks_) {
+      out.push_back(blkno);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
  private:
   uint32_t total_blocks_;

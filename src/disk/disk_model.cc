@@ -5,12 +5,13 @@
 
 namespace mufs {
 
-void DiskModel::AttachStats(StatsRegistry* stats) {
-  stat_prefetch_hits_ = &stats->counter("disk.model.prefetch_hits");
-  stat_seek_ns_ = &stats->counter("disk.model.seek_ns");
-  stat_rotation_ns_ = &stats->counter("disk.model.rotation_ns");
-  stat_transfer_ns_ = &stats->counter("disk.model.transfer_ns");
-  stat_cylinders_moved_ = &stats->counter("disk.model.cylinders_moved");
+void DiskModel::AttachStats(StatsRegistry* stats, std::string_view instance) {
+  stat_prefetch_hits_ = &stats->counter(InstanceMetricName(instance, "disk.model.prefetch_hits"));
+  stat_seek_ns_ = &stats->counter(InstanceMetricName(instance, "disk.model.seek_ns"));
+  stat_rotation_ns_ = &stats->counter(InstanceMetricName(instance, "disk.model.rotation_ns"));
+  stat_transfer_ns_ = &stats->counter(InstanceMetricName(instance, "disk.model.transfer_ns"));
+  stat_cylinders_moved_ =
+      &stats->counter(InstanceMetricName(instance, "disk.model.cylinders_moved"));
 }
 
 SimDuration DiskModel::SeekTime(uint32_t from_cyl, uint32_t to_cyl) const {

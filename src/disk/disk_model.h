@@ -38,8 +38,9 @@ class DiskModel {
 
   // Registers the model's mechanical-time breakdown (seek/rotation/
   // transfer accumulators, prefetch hits) with `stats`. Optional: an
-  // unattached model simply keeps no metrics.
-  void AttachStats(StatsRegistry* stats);
+  // unattached model simply keeps no metrics. `instance` prefixes the
+  // metric names for multi-disk machines ("" keeps the singleton names).
+  void AttachStats(StatsRegistry* stats, std::string_view instance = "");
 
   // Computes the service time for an access beginning at `start`, updates
   // head position and cache state. `count` blocks starting at `blkno`.

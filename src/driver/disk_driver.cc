@@ -20,10 +20,14 @@ DiskDriver::DiskDriver(Engine* engine, DiskModel* model, DiskImage* image, Drive
       config_(config),
       work_available_(engine),
       queue_empty_(engine) {
+  // With an image_map the image is the whole volume; this disk's media
+  // (and with it the fault injector's victim space) is its own geometry.
+  media_blocks_ =
+      config_.image_map ? model_->geometry().total_blocks : image_->TotalBlocks();
   if (config_.faults != nullptr) {
     // Lets the injector's damage ledger name the same misdirection
     // victims the media transfer will use.
-    config_.faults->SetTotalBlocks(image_->TotalBlocks());
+    config_.faults->SetTotalBlocks(media_blocks_);
   }
   if (config_.stats != nullptr) {
     stats_ = config_.stats;
@@ -32,31 +36,41 @@ DiskDriver::DiskDriver(Engine* engine, DiskModel* model, DiskImage* image, Drive
     owned_stats_->SetClock([engine] { return engine->Now(); });
     stats_ = owned_stats_.get();
   }
-  stat_reads_ = &stats_->counter("disk.reads");
-  stat_writes_ = &stats_->counter("disk.writes");
-  stat_blocks_read_ = &stats_->counter("disk.blocks_read");
-  stat_blocks_written_ = &stats_->counter("disk.blocks_written");
-  stat_merges_ = &stats_->counter("disk.merged_requests");
-  stat_clook_wraps_ = &stats_->counter("disk.clook_wraps");
-  stat_busy_ns_ = &stats_->counter("disk.busy_ns");
-  stat_retries_ = &stats_->counter("driver.retries");
-  stat_timeouts_ = &stats_->counter("driver.timeouts");
-  stat_remaps_ = &stats_->counter("driver.remaps");
-  stat_gave_up_ = &stats_->counter("driver.gave_up");
-  stat_queue_depth_ = &stats_->gauge("disk.queue_depth");
-  stat_response_ = &stats_->histogram("disk.response_ns");
-  stat_access_ = &stats_->histogram("disk.access_ns");
-  stat_queue_delay_ = &stats_->histogram("disk.queue_ns");
+  const std::string& inst = config_.instance;
+  stat_reads_ = &stats_->counter(InstanceMetricName(inst, "disk.reads"));
+  stat_writes_ = &stats_->counter(InstanceMetricName(inst, "disk.writes"));
+  stat_blocks_read_ = &stats_->counter(InstanceMetricName(inst, "disk.blocks_read"));
+  stat_blocks_written_ = &stats_->counter(InstanceMetricName(inst, "disk.blocks_written"));
+  stat_merges_ = &stats_->counter(InstanceMetricName(inst, "disk.merged_requests"));
+  stat_clook_wraps_ = &stats_->counter(InstanceMetricName(inst, "disk.clook_wraps"));
+  stat_busy_ns_ = &stats_->counter(InstanceMetricName(inst, "disk.busy_ns"));
+  stat_retries_ = &stats_->counter(InstanceMetricName(inst, "driver.retries"));
+  stat_timeouts_ = &stats_->counter(InstanceMetricName(inst, "driver.timeouts"));
+  stat_remaps_ = &stats_->counter(InstanceMetricName(inst, "driver.remaps"));
+  stat_gave_up_ = &stats_->counter(InstanceMetricName(inst, "driver.gave_up"));
+  stat_queue_depth_ = &stats_->gauge(InstanceMetricName(inst, "disk.queue_depth"));
+  stat_response_ = &stats_->histogram(InstanceMetricName(inst, "disk.response_ns"));
+  stat_access_ = &stats_->histogram(InstanceMetricName(inst, "disk.access_ns"));
+  stat_queue_delay_ = &stats_->histogram(InstanceMetricName(inst, "disk.queue_ns"));
   if (config_.queue_depth > 1) {
     // Registered only in queueing mode: the depth-1 stats surface (and
     // with it every golden sidecar) must stay byte-identical.
     device_queue_ = std::make_unique<DeviceQueue>(config_.queue_depth);
-    stat_tag_simple_ = &stats_->counter("disk.tag_simple");
-    stat_tag_ordered_ = &stats_->counter("disk.tag_ordered");
-    stat_rpo_picks_ = &stats_->counter("disk.rpo_picks");
-    stat_device_queue_ = &stats_->gauge("disk.device_queue");
+    stat_tag_simple_ = &stats_->counter(InstanceMetricName(inst, "disk.tag_simple"));
+    stat_tag_ordered_ = &stats_->counter(InstanceMetricName(inst, "disk.tag_ordered"));
+    stat_rpo_picks_ = &stats_->counter(InstanceMetricName(inst, "disk.rpo_picks"));
+    stat_device_queue_ = &stats_->gauge(InstanceMetricName(inst, "disk.device_queue"));
   }
-  service_proc_ = engine_->Spawn(ServiceLoop(), "disk-driver");
+  trace_names_.issue = InstanceMetricName(inst, "disk.issue");
+  trace_names_.concat = InstanceMetricName(inst, "disk.concat");
+  trace_names_.accept = InstanceMetricName(inst, "disk.accept");
+  trace_names_.service = InstanceMetricName(inst, "disk.service");
+  trace_names_.complete = InstanceMetricName(inst, "disk.complete");
+  trace_names_.fault = InstanceMetricName(inst, "disk.fault");
+  trace_names_.remap = InstanceMetricName(inst, "disk.remap");
+  trace_names_.gave_up = InstanceMetricName(inst, "disk.gave_up");
+  service_proc_ =
+      engine_->Spawn(ServiceLoop(), inst.empty() ? "disk-driver" : inst + "-driver");
 }
 
 DiskDriver::~DiskDriver() { stopping_ = true; }
@@ -104,7 +118,7 @@ uint64_t DiskDriver::Enqueue(std::unique_ptr<Request> req, IoCallback isr) {
     stat_blocks_read_->Inc(req->count);
   }
   if (stats_->tracing()) {
-    stats_->Trace("disk.issue", {{"id", id},
+    stats_->Trace(trace_names_.issue, {{"id", id},
                                  {"dir", req->dir == IoDir::kWrite ? "w" : "r"},
                                  {"blkno", req->blkno},
                                  {"count", req->count},
@@ -117,7 +131,7 @@ uint64_t DiskDriver::Enqueue(std::unique_ptr<Request> req, IoCallback isr) {
     ++merged_requests_;
     stat_merges_->Inc();
     if (stats_->tracing()) {
-      stats_->Trace("disk.concat", {{"id", id}, {"blkno", queue_.back()->blkno},
+      stats_->Trace(trace_names_.concat, {{"id", id}, {"blkno", queue_.back()->blkno},
                                     {"count", queue_.back()->count}});
     }
   } else {
@@ -386,7 +400,7 @@ void DiskDriver::DispatchToDevice() {
     r->device_seq = device_queue_->Accept(tag, r->dir == IoDir::kWrite, r->blkno, r->count, r);
     (tag == TagKind::kOrdered ? stat_tag_ordered_ : stat_tag_simple_)->Inc();
     if (stats_->tracing()) {
-      stats_->Trace("disk.accept", {{"id", r->ids.front()},
+      stats_->Trace(trace_names_.accept, {{"id", r->ids.front()},
                                     {"seq", r->device_seq},
                                     {"tag", TagKindName(tag)},
                                     {"blkno", r->blkno},
@@ -474,7 +488,7 @@ Task<IoStatus> DiskDriver::ServiceOne(Request* r, SimTime service_start, uint32_
       // media transfer itself happens at Complete().
       r->silent_damage = static_cast<uint8_t>(fault);
       if (stats_->tracing()) {
-        stats_->Trace("disk.fault", {{"id", r->ids.front()},
+        stats_->Trace(trace_names_.fault, {{"id", r->ids.front()},
                                      {"blkno", r->blkno},
                                      {"count", r->count},
                                      {"kind", FaultKindName(fault)},
@@ -494,7 +508,7 @@ Task<IoStatus> DiskDriver::ServiceOne(Request* r, SimTime service_start, uint32_
       if (stats_->tracing()) {
         uint32_t to_cyl = model_->CylinderOf(r->blkno);
         uint32_t seek_cyls = to_cyl > from_cyl ? to_cyl - from_cyl : from_cyl - to_cyl;
-        stats_->Trace("disk.service",
+        stats_->Trace(trace_names_.service,
                       {{"id", r->ids.front()},
                        {"dir", r->dir == IoDir::kWrite ? "w" : "r"},
                        {"blkno", r->blkno},
@@ -507,7 +521,7 @@ Task<IoStatus> DiskDriver::ServiceOne(Request* r, SimTime service_start, uint32_
       break;
     }
     if (stats_->tracing()) {
-      stats_->Trace("disk.fault", {{"id", r->ids.front()},
+      stats_->Trace(trace_names_.fault, {{"id", r->ids.front()},
                                    {"blkno", r->blkno},
                                    {"count", r->count},
                                    {"kind", FaultKindName(fault)},
@@ -541,7 +555,7 @@ Task<IoStatus> DiskDriver::ServiceOne(Request* r, SimTime service_start, uint32_
               ++spares_used_;
               stat_remaps_->Inc();
               if (stats_->tracing()) {
-                stats_->Trace("disk.remap", {{"id", r->ids.front()}, {"blkno", b}});
+                stats_->Trace(trace_names_.remap, {{"id", r->ids.front()}, {"blkno", b}});
               }
             }
             bad_hits = 0;
@@ -552,7 +566,7 @@ Task<IoStatus> DiskDriver::ServiceOne(Request* r, SimTime service_start, uint32_
     if (attempts >= static_cast<uint32_t>(config_.max_retries)) {
       stat_gave_up_->Inc();
       if (stats_->tracing()) {
-        stats_->Trace("disk.gave_up", {{"id", r->ids.front()},
+        stats_->Trace(trace_names_.gave_up, {{"id", r->ids.front()},
                                        {"blkno", r->blkno},
                                        {"count", r->count},
                                        {"attempts", attempts + 1}});
@@ -575,7 +589,7 @@ void DiskDriver::Complete(Request* req, IoStatus status) {
   if (status == IoStatus::kOk) {
     stat_response_->Record(now - req->issue_time);
     if (stats_->tracing()) {
-      stats_->Trace("disk.complete", {{"id", req->ids.front()},
+      stats_->Trace(trace_names_.complete, {{"id", req->ids.front()},
                                       {"blkno", req->blkno},
                                       {"count", req->count},
                                       {"response_ns", now - req->issue_time}});
@@ -589,32 +603,34 @@ void DiskDriver::Complete(Request* req, IoStatus status) {
           // block persists torn, the tail never reaches the medium.
           uint32_t torn_at = req->count / 2;
           for (uint32_t i = 0; i < torn_at; ++i) {
-            image_->Write(req->blkno + i, *req->data[i], engine_->Now());
+            image_->Write(MapLba(req->blkno + i), *req->data[i], engine_->Now());
           }
-          image_->WriteTorn(req->blkno + torn_at, *req->data[torn_at], engine_->Now());
+          image_->WriteTorn(MapLba(req->blkno + torn_at), *req->data[torn_at],
+                            engine_->Now());
           break;
         }
         case FaultKind::kMisdirected: {
           // The whole payload lands one slip away; the intended range
-          // keeps its stale content.
-          uint32_t victim = FaultInjector::MisdirectVictim(req->blkno, req->count,
-                                                           image_->TotalBlocks());
+          // keeps its stale content. The victim is picked in this disk's
+          // own LBA space (a misdirection never jumps spindles).
+          uint32_t victim =
+              FaultInjector::MisdirectVictim(req->blkno, req->count, media_blocks_);
           for (uint32_t i = 0; i < req->count; ++i) {
-            image_->Write(victim + i, *req->data[i], engine_->Now());
+            image_->Write(MapLba(victim + i), *req->data[i], engine_->Now());
           }
           break;
         }
         default:
           for (uint32_t i = 0; i < req->count; ++i) {
-            image_->Write(req->blkno + i, *req->data[i], engine_->Now());
+            image_->Write(MapLba(req->blkno + i), *req->data[i], engine_->Now());
           }
           break;
       }
     } else {
-      image_->Read(req->blkno, req->read_out);
+      image_->Read(MapLba(req->blkno), req->read_out);
     }
   } else if (stats_->tracing()) {
-    stats_->Trace("disk.complete", {{"id", req->ids.front()},
+    stats_->Trace(trace_names_.complete, {{"id", req->ids.front()},
                                     {"blkno", req->blkno},
                                     {"count", req->count},
                                     {"response_ns", now - req->issue_time},

@@ -45,6 +45,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -52,6 +53,7 @@
 #include "src/disk/device_queue.h"
 #include "src/disk/disk_image.h"
 #include "src/disk/disk_model.h"
+#include "src/driver/block_device.h"
 #include "src/driver/request.h"
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
@@ -97,34 +99,46 @@ struct DriverConfig {
   // after two bad-sector failures of one request the driver remaps the
   // offending blocks if spares remain).
   uint32_t spare_blocks = 64;
+
+  // --- multi-disk (src/volume/) --------------------------------------
+  // Instance name for metric/trace prefixes ("disk0", "disk1", ...).
+  // Empty = the singleton driver: every metric keeps its historical name.
+  std::string instance;
+  // Translates this disk's local LBA to the address used against the
+  // shared DiskImage. A striped volume backs all member disks with ONE
+  // volume-addressed image so crash snapshots and the write-count crash
+  // index stay volume-wide; each member driver maps its local block
+  // numbers through this before touching stable storage. Null = identity
+  // (the image belongs to this disk alone).
+  std::function<uint32_t(uint32_t)> image_map;
 };
 
-class DiskDriver {
+class DiskDriver : public BlockDevice {
  public:
   DiskDriver(Engine* engine, DiskModel* model, DiskImage* image, DriverConfig config);
   DiskDriver(const DiskDriver&) = delete;
   DiskDriver& operator=(const DiskDriver&) = delete;
-  ~DiskDriver();
+  ~DiskDriver() override;
 
   // Issues an asynchronous write of `data.size()` consecutive blocks
   // starting at `blkno`. Returns the request id. `isr` (optional) runs at
   // completion, interrupt-level: it must not block, and it receives the
   // request's terminal IoStatus (completion does not imply success).
   uint64_t IssueWrite(uint32_t blkno, std::vector<std::shared_ptr<const BlockData>> data,
-                      OrderingTag tag = {}, IoCallback isr = nullptr);
+                      OrderingTag tag = {}, IoCallback isr = nullptr) override;
 
   // Issues an asynchronous single-block read into `out` (caller keeps the
   // destination alive and unread until completion). On failure `out` is
   // left untouched.
-  uint64_t IssueRead(uint32_t blkno, BlockData* out, IoCallback isr = nullptr);
+  uint64_t IssueRead(uint32_t blkno, BlockData* out, IoCallback isr = nullptr) override;
 
   // Suspends until request `id` completes (returns immediately if done)
   // and yields its terminal status.
-  Task<IoStatus> WaitFor(uint64_t id);
+  Task<IoStatus> WaitFor(uint64_t id) override;
 
-  bool IsComplete(uint64_t id) const { return completed_.contains(id); }
+  bool IsComplete(uint64_t id) const override { return completed_.contains(id); }
   // Terminal status of a completed request (kOk if `id` is unknown).
-  IoStatus CompletionStatus(uint64_t id) const {
+  IoStatus CompletionStatus(uint64_t id) const override {
     auto it = completed_.find(id);
     return it == completed_.end() ? IoStatus::kOk : it->second;
   }
@@ -133,13 +147,13 @@ class DiskDriver {
 
   // Queue introspection (used by tests and by the FS for SYNCIO fences).
   // Counts driver-queued, device-accepted and in-service requests.
-  size_t PendingCount() const;
+  size_t PendingCount() const override;
   // Commands currently accepted into the device queue (0 at depth 1).
   size_t DeviceQueueSize() const { return device_queue_ ? device_queue_->Size() : 0; }
-  Task<void> Drain();  // Waits until the queue is empty.
+  Task<void> Drain() override;  // Waits until the queue is empty.
 
   // True if any pending write overlaps [blkno, blkno+count).
-  bool HasPendingWrite(uint32_t blkno, uint32_t count = 1) const;
+  bool HasPendingWrite(uint32_t blkno, uint32_t count = 1) const override;
 
   const std::vector<RequestTrace>& Traces() const { return traces_; }
   uint64_t TotalRequests() const { return total_requests_; }
@@ -195,10 +209,26 @@ class DiskDriver {
   void Complete(Request* req, IoStatus status);
   void PruneFlaggedIndices();
 
+  // Local LBA -> shared-image address (identity without an image_map).
+  uint32_t MapLba(uint32_t blkno) const {
+    return config_.image_map ? config_.image_map(blkno) : blkno;
+  }
+
   Engine* engine_;
   DiskModel* model_;
   DiskImage* image_;
   DriverConfig config_;
+  // This disk's own media size. Equals image_->TotalBlocks() for a
+  // private image; with an image_map (shared volume image) it is the
+  // disk's geometry, so fault addressing stays in local LBA space.
+  uint32_t media_blocks_ = 0;
+
+  // Trace event names, instance-prefixed once at construction so the hot
+  // path never concatenates strings.
+  struct TraceNames {
+    std::string issue, concat, accept, service, complete, fault, remap, gave_up;
+  };
+  TraceNames trace_names_;
 
   // Metrics (either the Machine's registry or owned_stats_).
   std::unique_ptr<StatsRegistry> owned_stats_;

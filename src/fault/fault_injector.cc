@@ -25,14 +25,14 @@ std::string_view FaultKindName(FaultKind kind) {
 FaultInjector::FaultInjector(const FaultConfig& config)
     : config_(config), rng_(config.seed) {}
 
-void FaultInjector::AttachStats(StatsRegistry* stats) {
-  stat_injected_ = &stats->counter("fault.injected");
-  stat_transient_ = &stats->counter("fault.transient");
-  stat_stalls_ = &stats->counter("fault.stalls");
-  stat_bad_sectors_ = &stats->counter("fault.bad_sectors");
-  stat_remapped_ = &stats->counter("fault.remapped");
-  stat_torn_ = &stats->counter("fault.torn_writes");
-  stat_misdirected_ = &stats->counter("fault.misdirected");
+void FaultInjector::AttachStats(StatsRegistry* stats, std::string_view instance) {
+  stat_injected_ = &stats->counter(InstanceMetricName(instance, "fault.injected"));
+  stat_transient_ = &stats->counter(InstanceMetricName(instance, "fault.transient"));
+  stat_stalls_ = &stats->counter(InstanceMetricName(instance, "fault.stalls"));
+  stat_bad_sectors_ = &stats->counter(InstanceMetricName(instance, "fault.bad_sectors"));
+  stat_remapped_ = &stats->counter(InstanceMetricName(instance, "fault.remapped"));
+  stat_torn_ = &stats->counter(InstanceMetricName(instance, "fault.torn_writes"));
+  stat_misdirected_ = &stats->counter(InstanceMetricName(instance, "fault.misdirected"));
 }
 
 uint32_t FaultInjector::MisdirectVictim(uint32_t blkno, uint32_t count,

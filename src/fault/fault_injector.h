@@ -104,8 +104,9 @@ class FaultInjector {
 
   // Metrics go to `stats` from here on (fault.injected, fault.transient,
   // fault.stalls, fault.bad_sectors, fault.remapped, fault.torn_writes,
-  // fault.misdirected).
-  void AttachStats(StatsRegistry* stats);
+  // fault.misdirected). `instance` prefixes the names for multi-disk
+  // machines ("" keeps the singleton names).
+  void AttachStats(StatsRegistry* stats, std::string_view instance = "");
 
   // One decision per service attempt. Consumes the scripted FIFO first,
   // then the bad-sector set, then a single uniform draw. Silent write

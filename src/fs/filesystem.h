@@ -18,6 +18,7 @@
 #include "src/cache/buffer_cache.h"
 #include "src/cache/syncer.h"
 #include "src/fs/format.h"
+#include "src/fs/fs_interface.h"
 #include "src/fs/policy.h"
 #include "src/fs/proc.h"
 #include "src/fs/result.h"
@@ -67,40 +68,13 @@ struct FsConfig {
   StatsRegistry* stats = nullptr;
 };
 
-struct StatInfo {
-  uint32_t ino = 0;
-  FileType type = FileType::kFree;
-  uint16_t nlink = 0;
-  uint64_t size = 0;
-  uint32_t generation = 0;
-};
-
-struct DirEntryInfo {
-  uint32_t ino = 0;
-  std::string name;
-};
-
-// Snapshot of the fs.* registry counters.
-struct FsOpStats {
-  uint64_t creates = 0;
-  uint64_t removes = 0;
-  uint64_t mkdirs = 0;
-  uint64_t rmdirs = 0;
-  uint64_t renames = 0;
-  uint64_t lookups = 0;
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t blocks_allocated = 0;
-  uint64_t blocks_freed = 0;
-};
-
-class FileSystem {
+class FileSystem : public FsInterface {
  public:
   FileSystem(Engine* engine, Cpu* cpu, BufferCache* cache, SyncerDaemon* syncer,
              FsConfig config = {});
   FileSystem(const FileSystem&) = delete;
   FileSystem& operator=(const FileSystem&) = delete;
-  ~FileSystem();
+  ~FileSystem() override;
 
   // Formats an image in place (offline; writes the superblock, bitmaps
   // and a root directory directly into the DiskImage). `journal_blocks`
@@ -114,25 +88,27 @@ class FileSystem {
   Task<FsStatus> Mount(Proc& proc);
 
   // --- POSIX-like operations (paths are absolute, '/'-separated) -----
-  Task<Result<uint32_t>> Create(Proc& proc, const std::string& path);
-  Task<FsStatus> Mkdir(Proc& proc, const std::string& path);
-  Task<FsStatus> Unlink(Proc& proc, const std::string& path);
-  Task<FsStatus> Rmdir(Proc& proc, const std::string& path);
-  Task<FsStatus> Rename(Proc& proc, const std::string& from, const std::string& to);
-  Task<FsStatus> Link(Proc& proc, const std::string& existing, const std::string& link_path);
-  Task<Result<uint32_t>> Lookup(Proc& proc, const std::string& path);
-  Task<Result<StatInfo>> Stat(Proc& proc, const std::string& path);
-  Task<Result<StatInfo>> StatIno(Proc& proc, uint32_t ino);
-  Task<Result<std::vector<DirEntryInfo>>> ReadDir(Proc& proc, const std::string& path);
+  Task<Result<uint32_t>> Create(Proc& proc, const std::string& path) override;
+  Task<FsStatus> Mkdir(Proc& proc, const std::string& path) override;
+  Task<FsStatus> Unlink(Proc& proc, const std::string& path) override;
+  Task<FsStatus> Rmdir(Proc& proc, const std::string& path) override;
+  Task<FsStatus> Rename(Proc& proc, const std::string& from, const std::string& to) override;
+  Task<FsStatus> Link(Proc& proc, const std::string& existing,
+                      const std::string& link_path) override;
+  Task<Result<uint32_t>> Lookup(Proc& proc, const std::string& path) override;
+  Task<Result<StatInfo>> Stat(Proc& proc, const std::string& path) override;
+  Task<Result<StatInfo>> StatIno(Proc& proc, uint32_t ino) override;
+  Task<Result<std::vector<DirEntryInfo>>> ReadDir(Proc& proc,
+                                                  const std::string& path) override;
   Task<Result<uint64_t>> WriteFile(Proc& proc, uint32_t ino, uint64_t offset,
-                                   std::span<const uint8_t> data);
+                                   std::span<const uint8_t> data) override;
   Task<Result<uint64_t>> ReadFile(Proc& proc, uint32_t ino, uint64_t offset,
-                                  std::span<uint8_t> out);
-  Task<FsStatus> Truncate(Proc& proc, uint32_t ino, uint64_t new_size);
+                                  std::span<uint8_t> out) override;
+  Task<FsStatus> Truncate(Proc& proc, uint32_t ino, uint64_t new_size) override;
   // SYNCIO: returns only when all metadata for `ino` is persistent.
-  Task<FsStatus> Fsync(Proc& proc, uint32_t ino);
+  Task<FsStatus> Fsync(Proc& proc, uint32_t ino) override;
   // Full sync: flush all inodes, run deferred work, drain the device.
-  Task<FsStatus> SyncEverything(Proc& proc);
+  Task<FsStatus> SyncEverything(Proc& proc) override;
 
   // --- Policy support API --------------------------------------------
   Engine* engine() const { return engine_; }
@@ -171,13 +147,13 @@ class FileSystem {
 
   // Flushes every dirty in-core inode into its buffer (syncer pre-pass).
   Task<void> FlushDirtyInodes();
-  bool AnyDirtyInode() const;
+  bool AnyDirtyInode() const override;
 
   // Marks the in-core inode dirty; with write-through policies also
   // pushes it into the itable buffer immediately.
   Task<void> MarkInodeDirty(Proc& proc, Inode& ip);
 
-  FsOpStats op_stats() const;  // Snapshot of the fs.* counters.
+  FsOpStats op_stats() const override;  // Snapshot of the fs.* counters.
   StatsRegistry* stats() const { return stats_; }
 
   // Records an unrecoverable device I/O error noticed by a policy, the
@@ -189,10 +165,10 @@ class FileSystem {
     io_degraded_ = true;
     stat_io_errors_->Inc();
   }
-  bool io_degraded() const;
+  bool io_degraded() const override;
 
   // Drops clean, unpinned in-core inodes (cold-cache simulation).
-  void DropCleanInodes();
+  void DropCleanInodes() override;
 
  private:
   friend class FsBufferHooks;

@@ -134,6 +134,12 @@ class OrderingPolicy {
   // file is persistent (used by fsync and unmount).
   virtual Task<void> FlushAll(Proc& proc) = 0;
 
+  // True when every metadata update is persistent before the hook that
+  // made it returns (Conventional's synchronous writes). Cross-shard
+  // protocols then skip their explicit durability barrier: the update
+  // they depend on is already on stable storage.
+  virtual bool MetadataSynchronous() const { return false; }
+
   // True if the directory slot at (blkno, offset) must not be reused for
   // a new entry yet (soft updates holds slots whose removal is pinned by
   // a rename's rule-1 dependency). Consulted by AddEntry.

@@ -16,7 +16,9 @@ Task<void> WorkloadRoot(Machine* m, Proc* proc, const CrashHarness::Workload* wo
 }
 
 // Shared crash tail: snapshot stable storage, run the scheme's recovery
-// (journal replay for kJournaling), and audit with fsck.
+// (journal replay for kJournaling), and audit with fsck. A sharded
+// machine recovers and checks each shard's file system independently in
+// its own region of the volume image; the reports are merged.
 CrashResult CrashAndCheck(Machine* m, const RunState& state, Scheme scheme,
                           FsckOptions fsck_options) {
   CrashResult result;
@@ -25,11 +27,38 @@ CrashResult CrashAndCheck(Machine* m, const RunState& state, Scheme scheme,
   result.crash_time = m->engine().Now();
   result.torn_writes = m->image().TornWriteCount();
   DiskImage snapshot = m->CrashNow();
-  if (scheme == Scheme::kJournaling) {
-    result.replay = JournalRecovery(&snapshot).Run();
+  if (m->NumShards() <= 1) {
+    if (scheme == Scheme::kJournaling) {
+      result.replay = JournalRecovery(&snapshot).Run();
+    }
+    FsckChecker checker(&snapshot, fsck_options);
+    result.report = checker.Check();
+    return result;
   }
-  FsckChecker checker(&snapshot, fsck_options);
-  result.report = checker.Check();
+  for (size_t s = 0; s < m->NumShards(); ++s) {
+    if (scheme == Scheme::kJournaling) {
+      JournalReplayReport r = JournalRecovery(&snapshot, m->ShardBase(s)).Run();
+      result.replay.journal_present = result.replay.journal_present || r.journal_present;
+      result.replay.txns_replayed += r.txns_replayed;
+      result.replay.blocks_replayed += r.blocks_replayed;
+      result.replay.log_blocks_scanned += r.log_blocks_scanned;
+      result.replay.torn_tail = result.replay.torn_tail || r.torn_tail;
+    }
+    DiskImage region = snapshot.ExtractRegion(m->ShardBase(s), m->ShardBlocks());
+    FsckOptions shard_options = fsck_options;
+    // Shard data blocks are tagged with GLOBAL inode numbers.
+    shard_options.tag_ino_base = static_cast<uint32_t>(s) * m->InoStride();
+    FsckChecker checker(&region, shard_options);
+    FsckReport report = checker.Check();
+    result.report.violations.insert(result.report.violations.end(),
+                                    report.violations.begin(), report.violations.end());
+    result.report.fixables.insert(result.report.fixables.end(), report.fixables.begin(),
+                                  report.fixables.end());
+    result.report.inodes_in_use += report.inodes_in_use;
+    result.report.dirs_seen += report.dirs_seen;
+    result.report.files_seen += report.files_seen;
+    result.report.blocks_claimed += report.blocks_claimed;
+  }
   return result;
 }
 

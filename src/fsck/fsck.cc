@@ -120,7 +120,8 @@ void FsckChecker::CheckInode(uint32_t ino, const DiskInode& di, FsckReport* repo
       if (all_zero) {
         continue;  // Initialized but unwritten.
       }
-      if (tag.magic != kDataTagMagic || tag.ino != ino || tag.generation != di.generation) {
+      if (tag.magic != kDataTagMagic || tag.ino != options_.tag_ino_base + ino ||
+          tag.generation != di.generation) {
         report->violations.push_back(
             {FsckViolationType::kStaleDataExposed,
              "ino " + std::to_string(ino) + " gen " + std::to_string(di.generation) +
@@ -425,7 +426,8 @@ void FsckRepairer::ScrubInodePointers(FsckRepairReport* report) {
         if (all_zero) {
           continue;
         }
-        if (tag.magic != kDataTagMagic || tag.ino != ino || tag.generation != di.generation) {
+        if (tag.magic != kDataTagMagic || tag.ino != options_.tag_ino_base + ino ||
+            tag.generation != di.generation) {
           blk.fill(0);
           WriteBlock(blkno, blk);
           ++report->data_blocks_scrubbed;

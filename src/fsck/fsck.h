@@ -78,6 +78,11 @@ struct FsckOptions {
   // Verify data-block tags (requires TagDataBlock-cooperating workloads
   // and allocation-initialization guarantees).
   bool check_stale_data = false;
+  // Added to local inode numbers before comparing against data-block
+  // tags. Sharded machines tag data with GLOBAL inode numbers
+  // (shard * stride + local); checking one extracted shard region means
+  // tag.ino == tag_ino_base + local ino. 0 for unsharded images.
+  uint32_t tag_ino_base = 0;
 };
 
 class FsckChecker {

@@ -9,7 +9,7 @@
 
 namespace mufs {
 
-JournalManager::JournalManager(Engine* engine, DiskDriver* driver, BufferCache* cache,
+JournalManager::JournalManager(Engine* engine, BlockDevice* driver, BufferCache* cache,
                                DiskImage* image, StatsRegistry* stats, JournalConfig config)
     : engine_(engine),
       driver_(driver),
@@ -42,7 +42,7 @@ Task<void> JournalManager::Start() {
   // Adopt the persisted sequence horizon so records left in the ring by an
   // earlier life of this image can never validate as live transactions.
   BlockData raw;
-  image_->Read(jsb_blkno_, &raw);
+  image_->Read(config_.image_lba_base + jsb_blkno_, &raw);
   JournalSuperBlock jsb;
   std::memcpy(&jsb, raw.data(), sizeof(jsb));
   if (jsb.magic == kJournalMagic && jsb.log_blocks == usable_ && jsb.start_seq >= 1) {
@@ -84,7 +84,7 @@ void JournalManager::Capture(const BufRef& buf) {
   // as the stable image every in-place write substitutes from then on.
   if (!stable_.contains(blkno)) {
     auto base = std::make_shared<BlockData>();
-    image_->Read(blkno, base.get());
+    image_->Read(config_.image_lba_base + blkno, base.get());
     stable_.emplace(blkno, std::move(base));
   }
   open_captures_[blkno] = std::make_shared<BlockData>(buf->data());

@@ -32,7 +32,7 @@
 
 #include "src/cache/buffer_cache.h"
 #include "src/disk/disk_image.h"
-#include "src/driver/disk_driver.h"
+#include "src/driver/block_device.h"
 #include "src/journal/journal_format.h"
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
@@ -45,11 +45,17 @@ class FileSystem;
 struct JournalConfig {
   // Group-commit cadence (ISSUE: "driven by the syncer cadence").
   SimDuration commit_interval = Sec(1);
+  // Base added to every DIRECT image access (journal superblock read,
+  // stable-base capture read). A sharded machine gives each shard its own
+  // journal extent inside its region of the shared volume image; the
+  // driver handle already routes device I/O there, but the journal's two
+  // offline image reads need the same translation. 0 = single-disk.
+  uint32_t image_lba_base = 0;
 };
 
 class JournalManager {
  public:
-  JournalManager(Engine* engine, DiskDriver* driver, BufferCache* cache, DiskImage* image,
+  JournalManager(Engine* engine, BlockDevice* driver, BufferCache* cache, DiskImage* image,
                  StatsRegistry* stats, JournalConfig config);
 
   void AttachFs(FileSystem* fs) { fs_ = fs; }
@@ -95,7 +101,7 @@ class JournalManager {
   uint32_t LogBlock(uint32_t offset) const { return log_first_ + offset; }
 
   Engine* engine_;
-  DiskDriver* driver_;
+  BlockDevice* driver_;
   BufferCache* cache_;
   DiskImage* image_;
   StatsRegistry* stats_;

@@ -41,7 +41,7 @@ Task<void> JournalPolicy::SetupAllocation(Proc& proc, Inode& ip, BufRef data_buf
   } else if (init_required) {
     // File data is not journaled (data journaling is out of scope), so
     // alloc-init keeps the conventional synchronous zero write.
-    DiskDriver* driver = fs()->cache()->driver();
+    BlockDevice* driver = fs()->cache()->driver();
     uint64_t id = driver->IssueWrite(data_buf->blkno(), {fs()->cache()->ZeroBlock()});
     SimTime t0 = fs()->engine()->Now();
     IoStatus init_status = co_await driver->WaitFor(id);

@@ -11,7 +11,7 @@ namespace mufs {
 JournalReplayReport JournalRecovery::Run() {
   JournalReplayReport report;
   BlockData raw;
-  image_->Read(0, &raw);
+  image_->Read(base_, &raw);
   SuperBlock sb;
   std::memcpy(&sb, raw.data(), sizeof(sb));
   if (sb.magic != kFsMagic || sb.journal_blocks < 2) {
@@ -22,7 +22,7 @@ JournalReplayReport JournalRecovery::Run() {
   const uint32_t log_first = sb.journal_start + 1;
   const uint32_t usable = sb.journal_blocks - 1;
 
-  image_->Read(jsb_blkno, &raw);
+  image_->Read(base_ + jsb_blkno, &raw);
   JournalSuperBlock jsb;
   std::memcpy(&jsb, raw.data(), sizeof(jsb));
 
@@ -44,7 +44,7 @@ JournalReplayReport JournalRecovery::Run() {
       bool saw_record = false;
       while (walked < usable) {
         BlockData hb;
-        image_->Read(log_first + pos, &hb);
+        image_->Read(base_ + log_first + pos, &hb);
         JournalRecordHeader h;
         std::memcpy(&h, hb.data(), sizeof(h));
         ++walked;
@@ -73,7 +73,7 @@ JournalReplayReport JournalRecovery::Run() {
             break;
           }
           BlockData pb;
-          image_->Read(log_first + pos, &pb);
+          image_->Read(base_ + log_first + pos, &pb);
           checksum = JournalChecksumUpdate(checksum, pb.data(), kBlockSize);
           txn.emplace_back(tags[i], pb);
           pos = (pos + 1) % usable;
@@ -89,7 +89,7 @@ JournalReplayReport JournalRecovery::Run() {
         break;
       }
       for (auto& [blkno, data] : txn) {
-        image_->Write(blkno, data, image_->LastWriteTime());
+        image_->Write(base_ + blkno, data, image_->LastWriteTime());
       }
       ++report.txns_replayed;
       report.blocks_replayed += txn.size();
@@ -108,7 +108,7 @@ JournalReplayReport JournalRecovery::Run() {
   fresh.start_offset = 0;
   BlockData jb{};
   std::memcpy(jb.data(), &fresh, sizeof(fresh));
-  image_->Write(jsb_blkno, jb, image_->LastWriteTime());
+  image_->Write(base_ + jsb_blkno, jb, image_->LastWriteTime());
   return report;
 }
 

@@ -24,7 +24,12 @@ struct JournalReplayReport {
 
 class JournalRecovery {
  public:
-  explicit JournalRecovery(DiskImage* image) : image_(image) {}
+  // `base` rebases every image access: a sharded machine's shard is a
+  // complete filesystem (superblock at `base`, journal extent inside its
+  // region) living at an offset inside the shared volume image, and its
+  // recovery runs in place there. 0 = the whole image (single-disk).
+  explicit JournalRecovery(DiskImage* image, uint32_t base = 0)
+      : image_(image), base_(base) {}
 
   // Replays committed transactions into the image. Idempotent: a second
   // run finds an empty ring and replays nothing.
@@ -32,6 +37,7 @@ class JournalRecovery {
 
  private:
   DiskImage* image_;
+  uint32_t base_ = 0;
 };
 
 }  // namespace mufs

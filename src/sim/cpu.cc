@@ -4,13 +4,14 @@ namespace mufs {
 
 Task<void> Cpu::Consume(Pid pid, SimDuration amount) {
   while (amount > 0) {
-    LockGuard guard = co_await LockGuard::Acquire(&mutex_);
+    co_await sem_.Acquire();
     SimDuration slice = std::min(quantum_, amount);
     co_await engine_->Sleep(slice);
     charged_[pid] += slice;
     total_charged_ += slice;
     amount -= slice;
-    // Guard releases here; FIFO handoff gives any waiter the next quantum.
+    // FIFO handoff gives any waiter the next quantum on this core.
+    sem_.Release();
   }
 }
 

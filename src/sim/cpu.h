@@ -1,12 +1,16 @@
-// Single-CPU execution model with round-robin slicing and per-process
+// CPU execution model with round-robin slicing and per-process
 // accounting.
 //
 // The reproduction target machine is a 33 MHz i486 with one CPU; every
-// in-kernel or user computation is modelled as a duration consumed on this
-// resource. Consumption is sliced into quanta handed off through a FIFO
-// mutex, which interleaves concurrent "users" the way a time-sharing
-// kernel would, and total charged time per process feeds the CPU-time
-// columns of Tables 1-3.
+// in-kernel or user computation is modelled as a duration consumed on
+// this resource. Consumption is sliced into quanta handed off through a
+// FIFO semaphore, which interleaves concurrent "users" the way a
+// time-sharing kernel would, and total charged time per process feeds
+// the CPU-time columns of Tables 1-3.
+//
+// `cores` generalizes the model for scale-out machines: up to `cores`
+// quanta proceed concurrently (the multi-disk machine pairs one core
+// with each spindle). cores=1 is event-for-event the paper's machine.
 #ifndef MUFS_SRC_SIM_CPU_H_
 #define MUFS_SRC_SIM_CPU_H_
 
@@ -28,8 +32,11 @@ constexpr Pid kSystemPid = 0;
 
 class Cpu {
  public:
-  Cpu(Engine* engine, SimDuration quantum = Msec(1))
-      : engine_(engine), quantum_(quantum), mutex_(engine) {}
+  Cpu(Engine* engine, SimDuration quantum = Msec(1), uint32_t cores = 1)
+      : engine_(engine),
+        quantum_(quantum),
+        cores_(cores == 0 ? 1 : cores),
+        sem_(engine, static_cast<int64_t>(cores_)) {}
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
 
@@ -45,10 +52,13 @@ class Cpu {
 
   SimDuration TotalCharged() const { return total_charged_; }
 
+  uint32_t Cores() const { return cores_; }
+
  private:
   Engine* engine_;
   SimDuration quantum_;
-  Mutex mutex_;
+  uint32_t cores_;
+  Semaphore sem_;
   std::unordered_map<Pid, SimDuration> charged_;
   SimDuration total_charged_ = 0;
 };

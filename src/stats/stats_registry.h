@@ -155,6 +155,26 @@ class StatsRegistry {
   std::vector<std::string> trace_lines_;
 };
 
+// Names a metric for one instance of a replicated component. The empty
+// instance is the singleton case and yields `base` unchanged, so every
+// pre-multi-disk metric name stays byte-identical. A non-empty instance
+// (e.g. "disk0") replaces the leading "disk." component of device
+// metrics ("disk.busy_ns" -> "disk0.busy_ns") and prefixes everything
+// else ("driver.retries" -> "disk0.driver.retries").
+inline std::string InstanceMetricName(std::string_view instance, std::string_view base) {
+  if (instance.empty()) {
+    return std::string(base);
+  }
+  std::string out(instance);
+  if (base.rfind("disk.", 0) == 0) {
+    out += base.substr(4);  // Keep the ".rest" after "disk".
+  } else {
+    out += '.';
+    out += base;
+  }
+  return out;
+}
+
 // Escapes a string for inclusion in a JSON value (quotes not included).
 void JsonEscape(std::string_view in, std::string* out);
 

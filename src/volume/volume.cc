@@ -1,0 +1,319 @@
+#include "src/volume/volume.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace mufs {
+
+StripedVolume::StripedVolume(Engine* engine, std::vector<DiskDriver*> disks,
+                             VolumeConfig config)
+    : engine_(engine),
+      disks_(std::move(disks)),
+      config_(config),
+      all_done_(engine) {
+  assert(!disks_.empty());
+  assert(config_.layout.disks == disks_.size());
+  assert(config_.layout.stripe_unit > 0);
+  assert(config_.stats != nullptr);
+  stat_reads_ = &config_.stats->counter("volume.reads");
+  stat_writes_ = &config_.stats->counter("volume.writes");
+  stat_splits_ = &config_.stats->counter("volume.splits");
+  stat_held_ = &config_.stats->counter("volume.held");
+}
+
+uint64_t StripedVolume::IssueWrite(uint32_t blkno,
+                                   std::vector<std::shared_ptr<const BlockData>> data,
+                                   OrderingTag tag, IoCallback isr) {
+  assert(!data.empty());
+  auto req = std::make_unique<VReq>();
+  req->dir = IoDir::kWrite;
+  req->blkno = blkno;
+  req->count = static_cast<uint32_t>(data.size());
+  req->flag = tag.flag;
+  req->deps = std::move(tag.deps);
+  req->data = std::move(data);
+  req->isr = std::move(isr);
+  stat_writes_->Inc();
+  return Issue(std::move(req));
+}
+
+uint64_t StripedVolume::IssueRead(uint32_t blkno, BlockData* out, IoCallback isr) {
+  auto req = std::make_unique<VReq>();
+  req->dir = IoDir::kRead;
+  req->blkno = blkno;
+  req->count = 1;
+  req->read_out = out;
+  req->isr = std::move(isr);
+  stat_reads_->Inc();
+  return Issue(std::move(req));
+}
+
+uint64_t StripedVolume::Issue(std::unique_ptr<VReq> req) {
+  req->id = next_id_++;
+  req->issue_index = next_issue_index_++;
+  if (req->flag) {
+    flagged_indices_.push_back(req->issue_index);
+  }
+  IndexRequest(*req);
+  uint64_t id = req->id;
+  if (Eligible(*req)) {
+    VReq* r = req.get();
+    in_flight_.emplace(id, std::move(req));
+    Forward(r);
+  } else {
+    stat_held_->Inc();
+    held_.push_back(std::move(req));
+  }
+  return id;
+}
+
+void StripedVolume::IndexRequest(const VReq& r) {
+  pending_indices_.insert(r.issue_index);
+  if (r.flag) {
+    pending_flagged_indices_.insert(r.issue_index);
+  }
+  if (r.dir == IoDir::kWrite) {
+    for (uint32_t b = r.blkno; b < r.blkno + r.count; ++b) {
+      pending_writes_by_block_[b].insert(r.issue_index);
+    }
+  }
+}
+
+void StripedVolume::UnindexRequest(const VReq& r) {
+  pending_indices_.erase(r.issue_index);
+  pending_flagged_indices_.erase(r.issue_index);
+  if (r.dir == IoDir::kWrite) {
+    for (uint32_t b = r.blkno; b < r.blkno + r.count; ++b) {
+      auto it = pending_writes_by_block_.find(b);
+      if (it != pending_writes_by_block_.end()) {
+        it->second.erase(r.issue_index);
+        if (it->second.empty()) {
+          pending_writes_by_block_.erase(it);
+        }
+      }
+    }
+  }
+}
+
+void StripedVolume::PruneFlaggedIndices() {
+  uint64_t oldest =
+      pending_indices_.empty() ? next_issue_index_ : *pending_indices_.begin();
+  auto it = std::lower_bound(flagged_indices_.begin(), flagged_indices_.end(), oldest);
+  flagged_indices_.erase(flagged_indices_.begin(), it);
+}
+
+bool StripedVolume::ConflictsWithEarlierWrite(const VReq& r) const {
+  for (uint32_t b = r.blkno; b < r.blkno + r.count; ++b) {
+    auto it = pending_writes_by_block_.find(b);
+    if (it != pending_writes_by_block_.end() && !it->second.empty() &&
+        *it->second.begin() < r.issue_index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StripedVolume::Eligible(const VReq& r) const {
+  // The exact single-disk DiskDriver::Eligible logic, evaluated over
+  // volume requests. "Pending" covers requests forwarded to a disk but
+  // not yet complete, matching the driver's in-service requests staying
+  // indexed until Complete(). Same-range writes map to the same disk
+  // (identical volume LBAs), so forwarding conflicting writes in issue
+  // order lets the member driver uphold the overlap invariant; holding
+  // them here additionally keeps volume-level forwarding conservative.
+  if (r.dir == IoDir::kWrite && ConflictsWithEarlierWrite(r)) {
+    return false;
+  }
+  switch (config_.mode) {
+    case OrderingMode::kNone:
+      return true;
+
+    case OrderingMode::kChains: {
+      for (uint64_t dep : r.deps) {
+        if (!completed_.contains(dep)) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    case OrderingMode::kFlag: {
+      if (r.dir == IoDir::kRead && config_.reads_bypass) {
+        return !ConflictsWithEarlierWrite(r);
+      }
+      auto flagged_before_me = [&] {
+        return !pending_flagged_indices_.empty() &&
+               *pending_flagged_indices_.begin() < r.issue_index;
+      };
+      switch (config_.semantics) {
+        case FlagSemantics::kPart:
+          return !flagged_before_me();
+        case FlagSemantics::kBack: {
+          auto it = std::lower_bound(flagged_indices_.begin(), flagged_indices_.end(),
+                                     r.issue_index);
+          if (it == flagged_indices_.begin()) {
+            return true;
+          }
+          uint64_t m = *std::prev(it);
+          return pending_indices_.empty() || *pending_indices_.begin() > m;
+        }
+        case FlagSemantics::kFull: {
+          if (flagged_before_me()) {
+            return false;
+          }
+          if (r.flag && !pending_indices_.empty() &&
+              *pending_indices_.begin() < r.issue_index) {
+            return false;
+          }
+          return true;
+        }
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+void StripedVolume::TryDispatch() {
+  // Forward every held request that became eligible, in issue order.
+  // Eligibility under every mode is monotone in completions, so one pass
+  // suffices per completion event; requests forwarded here cannot make an
+  // EARLIER held request eligible (only completions can).
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (Eligible(**it)) {
+      VReq* r = it->get();
+      in_flight_.emplace(r->id, std::move(*it));
+      it = held_.erase(it);
+      Forward(r);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StripedVolume::Forward(VReq* r) {
+  const VolumeLayout& lay = config_.layout;
+  if (r->dir == IoDir::kRead) {
+    uint32_t disk = 0, local = 0;
+    lay.Map(r->blkno, &disk, &local);
+    r->subs_outstanding = 1;
+    disks_[disk]->IssueRead(local, r->read_out,
+                            [this, r](IoStatus s) { OnSubComplete(r, s); });
+    return;
+  }
+  // Count stripe-chunk runs first so a sub completing while later subs
+  // are still being issued cannot retire the request early.
+  uint32_t subs = 0;
+  for (uint32_t v = r->blkno; v < r->blkno + r->count;) {
+    uint32_t run = std::min(lay.RunLength(v), r->blkno + r->count - v);
+    v += run;
+    ++subs;
+  }
+  r->subs_outstanding = subs;
+  if (subs > 1) {
+    stat_splits_->Inc(subs - 1);
+  }
+  for (uint32_t v = r->blkno; v < r->blkno + r->count;) {
+    uint32_t run = std::min(lay.RunLength(v), r->blkno + r->count - v);
+    uint32_t disk = 0, local = 0;
+    lay.Map(v, &disk, &local);
+    std::vector<std::shared_ptr<const BlockData>> slice(
+        r->data.begin() + (v - r->blkno), r->data.begin() + (v - r->blkno) + run);
+    disks_[disk]->IssueWrite(local, std::move(slice), {},
+                             [this, r](IoStatus s) { OnSubComplete(r, s); });
+    v += run;
+  }
+}
+
+void StripedVolume::OnSubComplete(VReq* r, IoStatus status) {
+  // Interrupt level: must not block. Notifications only schedule wakeups.
+  if (r->status == IoStatus::kOk) {
+    r->status = status;
+  }
+  assert(r->subs_outstanding > 0);
+  if (--r->subs_outstanding > 0) {
+    return;
+  }
+  auto node = in_flight_.extract(r->id);
+  assert(!node.empty());
+  UnindexRequest(*r);
+  completed_.emplace(r->id, r->status);
+  auto w = waiters_.find(r->id);
+  if (w != waiters_.end()) {
+    w->second->Set();
+    waiters_.erase(w);
+  }
+  if (r->isr) {
+    r->isr(r->status);
+  }
+  PruneFlaggedIndices();
+  if (pending_indices_.empty()) {
+    all_done_.NotifyAll();
+  }
+  // `node` keeps the request alive through its own completion; dispatch
+  // newly eligible requests after the dead index is gone.
+  TryDispatch();
+}
+
+Task<IoStatus> StripedVolume::WaitFor(uint64_t id) {
+  auto done = completed_.find(id);
+  if (done != completed_.end()) {
+    co_return done->second;
+  }
+  auto it = waiters_.find(id);
+  if (it == waiters_.end()) {
+    it = waiters_.emplace(id, std::make_unique<OneShotEvent>(engine_)).first;
+  }
+  co_await it->second->Wait();
+  co_return completed_.at(id);
+}
+
+Task<void> StripedVolume::Drain() {
+  while (!pending_indices_.empty()) {
+    co_await all_done_.Await();
+  }
+}
+
+bool StripedVolume::HasPendingWrite(uint32_t blkno, uint32_t count) const {
+  for (uint32_t b = blkno; b < blkno + count; ++b) {
+    if (pending_writes_by_block_.contains(b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+
+IoCallback ShardDevice::WrapIsr(IoCallback isr) {
+  ++outstanding_;
+  return [this, isr = std::move(isr)](IoStatus status) {
+    --outstanding_;
+    if (outstanding_ == 0) {
+      idle_.NotifyAll();
+    }
+    if (isr) {
+      isr(status);
+    }
+  };
+}
+
+uint64_t ShardDevice::IssueWrite(uint32_t blkno,
+                                 std::vector<std::shared_ptr<const BlockData>> data,
+                                 OrderingTag tag, IoCallback isr) {
+  return volume_->IssueWrite(base_ + blkno, std::move(data), std::move(tag),
+                             WrapIsr(std::move(isr)));
+}
+
+uint64_t ShardDevice::IssueRead(uint32_t blkno, BlockData* out, IoCallback isr) {
+  return volume_->IssueRead(base_ + blkno, out, WrapIsr(std::move(isr)));
+}
+
+Task<void> ShardDevice::Drain() {
+  while (outstanding_ != 0) {
+    co_await idle_.Await();
+  }
+}
+
+}  // namespace mufs

@@ -26,29 +26,29 @@ std::string JoinPath(const std::string& root, const std::string& rel) {
 }  // namespace
 
 Task<FsStatus> WriteTagged(Machine& m, Proc& proc, uint32_t ino, uint64_t bytes) {
-  Result<StatInfo> st = co_await m.fs().StatIno(proc, ino);
+  Result<StatInfo> st = co_await m.vfs().StatIno(proc, ino);
   if (!st.Ok()) {
     co_return st.status();
   }
   std::vector<uint8_t> data = MakeTaggedData(ino, st.value().generation, bytes);
-  Result<uint64_t> w = co_await m.fs().WriteFile(proc, ino, 0, data);
+  Result<uint64_t> w = co_await m.vfs().WriteFile(proc, ino, 0, data);
   co_return w.Ok() ? FsStatus::kOk : w.status();
 }
 
 Task<FsStatus> PopulateTree(Machine& m, Proc& proc, const TreeSpec& tree,
                             const std::string& root) {
-  FsStatus s = co_await m.fs().Mkdir(proc, root);
+  FsStatus s = co_await m.vfs().Mkdir(proc, root);
   if (s != FsStatus::kOk && s != FsStatus::kExists) {
     co_return s;
   }
   for (const auto& dir : tree.directories) {
-    s = co_await m.fs().Mkdir(proc, JoinPath(root, dir));
+    s = co_await m.vfs().Mkdir(proc, JoinPath(root, dir));
     if (s != FsStatus::kOk) {
       co_return s;
     }
   }
   for (const auto& f : tree.files) {
-    Result<uint32_t> ino = co_await m.fs().Create(proc, JoinPath(root, f.path));
+    Result<uint32_t> ino = co_await m.vfs().Create(proc, JoinPath(root, f.path));
     if (!ino.Ok()) {
       co_return ino.status();
     }
@@ -62,12 +62,12 @@ Task<FsStatus> PopulateTree(Machine& m, Proc& proc, const TreeSpec& tree,
 
 Task<FsStatus> CopyTree(Machine& m, Proc& proc, const TreeSpec& tree,
                         const std::string& src_root, const std::string& dst_root) {
-  FsStatus s = co_await m.fs().Mkdir(proc, dst_root);
+  FsStatus s = co_await m.vfs().Mkdir(proc, dst_root);
   if (s != FsStatus::kOk && s != FsStatus::kExists) {
     co_return s;
   }
   for (const auto& dir : tree.directories) {
-    s = co_await m.fs().Mkdir(proc, JoinPath(dst_root, dir));
+    s = co_await m.vfs().Mkdir(proc, JoinPath(dst_root, dir));
     if (s != FsStatus::kOk) {
       co_return s;
     }
@@ -75,16 +75,16 @@ Task<FsStatus> CopyTree(Machine& m, Proc& proc, const TreeSpec& tree,
   std::vector<uint8_t> buffer;
   for (const auto& f : tree.files) {
     // Read the source file in full (cold reads hit the disk).
-    Result<uint32_t> src = co_await m.fs().Lookup(proc, JoinPath(src_root, f.path));
+    Result<uint32_t> src = co_await m.vfs().Lookup(proc, JoinPath(src_root, f.path));
     if (!src.Ok()) {
       co_return src.status();
     }
     buffer.resize(f.size);
-    Result<uint64_t> r = co_await m.fs().ReadFile(proc, src.value(), 0, buffer);
+    Result<uint64_t> r = co_await m.vfs().ReadFile(proc, src.value(), 0, buffer);
     if (!r.Ok()) {
       co_return r.status();
     }
-    Result<uint32_t> dst = co_await m.fs().Create(proc, JoinPath(dst_root, f.path));
+    Result<uint32_t> dst = co_await m.vfs().Create(proc, JoinPath(dst_root, f.path));
     if (!dst.Ok()) {
       co_return dst.status();
     }
@@ -99,25 +99,25 @@ Task<FsStatus> CopyTree(Machine& m, Proc& proc, const TreeSpec& tree,
 Task<FsStatus> RemoveTree(Machine& m, Proc& proc, const TreeSpec& tree,
                           const std::string& root) {
   for (const auto& f : tree.files) {
-    FsStatus s = co_await m.fs().Unlink(proc, JoinPath(root, f.path));
+    FsStatus s = co_await m.vfs().Unlink(proc, JoinPath(root, f.path));
     if (s != FsStatus::kOk) {
       co_return s;
     }
   }
   // Children were appended after parents; remove in reverse order.
   for (auto it = tree.directories.rbegin(); it != tree.directories.rend(); ++it) {
-    FsStatus s = co_await m.fs().Rmdir(proc, JoinPath(root, *it));
+    FsStatus s = co_await m.vfs().Rmdir(proc, JoinPath(root, *it));
     if (s != FsStatus::kOk) {
       co_return s;
     }
   }
-  co_return co_await m.fs().Rmdir(proc, root);
+  co_return co_await m.vfs().Rmdir(proc, root);
 }
 
 Task<FsStatus> CreateFiles(Machine& m, Proc& proc, const std::string& dir, int count,
                            uint64_t file_bytes) {
   for (int i = 0; i < count; ++i) {
-    Result<uint32_t> ino = co_await m.fs().Create(proc, dir + "/c" + std::to_string(i));
+    Result<uint32_t> ino = co_await m.vfs().Create(proc, dir + "/c" + std::to_string(i));
     if (!ino.Ok()) {
       co_return ino.status();
     }
@@ -131,7 +131,7 @@ Task<FsStatus> CreateFiles(Machine& m, Proc& proc, const std::string& dir, int c
 
 Task<FsStatus> RemoveFiles(Machine& m, Proc& proc, const std::string& dir, int count) {
   for (int i = 0; i < count; ++i) {
-    FsStatus s = co_await m.fs().Unlink(proc, dir + "/c" + std::to_string(i));
+    FsStatus s = co_await m.vfs().Unlink(proc, dir + "/c" + std::to_string(i));
     if (s != FsStatus::kOk) {
       co_return s;
     }
@@ -143,7 +143,7 @@ Task<FsStatus> CreateRemoveFiles(Machine& m, Proc& proc, const std::string& dir,
                                  uint64_t file_bytes) {
   for (int i = 0; i < count; ++i) {
     std::string path = dir + "/cr" + std::to_string(i);
-    Result<uint32_t> ino = co_await m.fs().Create(proc, path);
+    Result<uint32_t> ino = co_await m.vfs().Create(proc, path);
     if (!ino.Ok()) {
       co_return ino.status();
     }
@@ -151,7 +151,7 @@ Task<FsStatus> CreateRemoveFiles(Machine& m, Proc& proc, const std::string& dir,
     if (s != FsStatus::kOk) {
       co_return s;
     }
-    s = co_await m.fs().Unlink(proc, path);
+    s = co_await m.vfs().Unlink(proc, path);
     if (s != FsStatus::kOk) {
       co_return s;
     }
@@ -169,10 +169,10 @@ Task<AndrewTimes> AndrewBenchmark(Machine& m, Proc& proc, const TreeSpec& tree,
   SimTime t0 = m.engine().Now();
 
   // Phase 1: make the directory tree.
-  FsStatus s = co_await m.fs().Mkdir(proc, work_root);
+  FsStatus s = co_await m.vfs().Mkdir(proc, work_root);
   (void)s;
   for (const auto& dir : tree.directories) {
-    co_await m.fs().Mkdir(proc, JoinPath(work_root, dir));
+    co_await m.vfs().Mkdir(proc, JoinPath(work_root, dir));
   }
   SimTime t1 = m.engine().Now();
   times.make_dir = ToSeconds(t1 - t0);
@@ -180,13 +180,13 @@ Task<AndrewTimes> AndrewBenchmark(Machine& m, Proc& proc, const TreeSpec& tree,
   // Phase 2: copy the data files.
   std::vector<uint8_t> buffer;
   for (const auto& f : tree.files) {
-    Result<uint32_t> src = co_await m.fs().Lookup(proc, JoinPath(src_root, f.path));
+    Result<uint32_t> src = co_await m.vfs().Lookup(proc, JoinPath(src_root, f.path));
     if (!src.Ok()) {
       continue;
     }
     buffer.resize(f.size);
-    (void)co_await m.fs().ReadFile(proc, src.value(), 0, buffer);
-    Result<uint32_t> dst = co_await m.fs().Create(proc, JoinPath(work_root, f.path));
+    (void)co_await m.vfs().ReadFile(proc, src.value(), 0, buffer);
+    Result<uint32_t> dst = co_await m.vfs().Create(proc, JoinPath(work_root, f.path));
     if (dst.Ok()) {
       co_await WriteTagged(m, proc, dst.value(), f.size);
     }
@@ -196,19 +196,19 @@ Task<AndrewTimes> AndrewBenchmark(Machine& m, Proc& proc, const TreeSpec& tree,
 
   // Phase 3: examine the status of every file.
   for (const auto& f : tree.files) {
-    (void)co_await m.fs().Stat(proc, JoinPath(work_root, f.path));
+    (void)co_await m.vfs().Stat(proc, JoinPath(work_root, f.path));
   }
   SimTime t3 = m.engine().Now();
   times.scan_dir = ToSeconds(t3 - t2);
 
   // Phase 4: read every byte of every file.
   for (const auto& f : tree.files) {
-    Result<uint32_t> ino = co_await m.fs().Lookup(proc, JoinPath(work_root, f.path));
+    Result<uint32_t> ino = co_await m.vfs().Lookup(proc, JoinPath(work_root, f.path));
     if (!ino.Ok()) {
       continue;
     }
     buffer.resize(f.size);
-    (void)co_await m.fs().ReadFile(proc, ino.value(), 0, buffer);
+    (void)co_await m.vfs().ReadFile(proc, ino.value(), 0, buffer);
   }
   SimTime t4 = m.engine().Now();
   times.read_all = ToSeconds(t4 - t3);
@@ -224,22 +224,22 @@ Task<AndrewTimes> AndrewBenchmark(Machine& m, Proc& proc, const TreeSpec& tree,
       break;
     }
     ++compile_count;
-    Result<uint32_t> ino = co_await m.fs().Lookup(proc, JoinPath(work_root, f.path));
+    Result<uint32_t> ino = co_await m.vfs().Lookup(proc, JoinPath(work_root, f.path));
     if (!ino.Ok()) {
       continue;
     }
     buffer.resize(f.size);
-    (void)co_await m.fs().ReadFile(proc, ino.value(), 0, buffer);
+    (void)co_await m.vfs().ReadFile(proc, ino.value(), 0, buffer);
     co_await m.cpu().Consume(proc.pid, Sec(7));  // The compiler itself.
     Result<uint32_t> obj =
-        co_await m.fs().Create(proc, JoinPath(work_root, f.path) + ".o");
+        co_await m.vfs().Create(proc, JoinPath(work_root, f.path) + ".o");
     if (obj.Ok()) {
       co_await WriteTagged(m, proc, obj.value(), f.size);
       linked_bytes += f.size;
     }
   }
   co_await m.cpu().Consume(proc.pid, Sec(5));  // Link.
-  Result<uint32_t> out = co_await m.fs().Create(proc, work_root + "/a.out");
+  Result<uint32_t> out = co_await m.vfs().Create(proc, work_root + "/a.out");
   if (out.Ok()) {
     co_await WriteTagged(m, proc, out.value(), std::max<uint64_t>(linked_bytes / 2, kBlockSize));
   }
@@ -254,7 +254,7 @@ Task<AndrewTimes> AndrewBenchmark(Machine& m, Proc& proc, const TreeSpec& tree,
 Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64_t seed,
                           int operations) {
   Rng rng(seed);
-  FsStatus s = co_await m.fs().Mkdir(proc, dir);
+  FsStatus s = co_await m.vfs().Mkdir(proc, dir);
   if (s != FsStatus::kOk && s != FsStatus::kExists) {
     co_return s;
   }
@@ -267,7 +267,7 @@ Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64
     if (r < 0.18 || files.empty()) {
       // Create a small file (an "edit session" output).
       std::string path = dir + "/f" + std::to_string(name_counter++);
-      Result<uint32_t> ino = co_await m.fs().Create(proc, path);
+      Result<uint32_t> ino = co_await m.vfs().Create(proc, path);
       if (ino.Ok()) {
         co_await WriteTagged(m, proc, ino.value(), 512 + rng.Next() % 8192);
         files.push_back(path);
@@ -275,15 +275,15 @@ Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64
     } else if (r < 0.38) {
       // Read a file.
       const std::string& path = files[rng.Next() % files.size()];
-      Result<uint32_t> ino = co_await m.fs().Lookup(proc, path);
+      Result<uint32_t> ino = co_await m.vfs().Lookup(proc, path);
       if (ino.Ok()) {
         std::vector<uint8_t> buf(8192);
-        (void)co_await m.fs().ReadFile(proc, ino.value(), 0, buf);
+        (void)co_await m.vfs().ReadFile(proc, ino.value(), 0, buf);
       }
     } else if (r < 0.53) {
       // Edit: read then rewrite.
       const std::string& path = files[rng.Next() % files.size()];
-      Result<uint32_t> ino = co_await m.fs().Lookup(proc, path);
+      Result<uint32_t> ino = co_await m.vfs().Lookup(proc, path);
       if (ino.Ok()) {
         co_await m.cpu().Consume(proc.pid, Msec(15));  // The editor.
         co_await WriteTagged(m, proc, ino.value(), 512 + rng.Next() % 8192);
@@ -291,41 +291,41 @@ Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64
     } else if (r < 0.63) {
       // Delete.
       size_t idx = rng.Next() % files.size();
-      if ((co_await m.fs().Unlink(proc, files[idx])) == FsStatus::kOk) {
+      if ((co_await m.vfs().Unlink(proc, files[idx])) == FsStatus::kOk) {
         files.erase(files.begin() + static_cast<ptrdiff_t>(idx));
       }
     } else if (r < 0.71) {
       // Stat / ls.
-      (void)co_await m.fs().ReadDir(proc, dir);
+      (void)co_await m.vfs().ReadDir(proc, dir);
     } else if (r < 0.76) {
       // Mkdir.
       std::string sub = dir + "/sub" + std::to_string(name_counter++);
-      if ((co_await m.fs().Mkdir(proc, sub)) == FsStatus::kOk) {
+      if ((co_await m.vfs().Mkdir(proc, sub)) == FsStatus::kOk) {
         subdirs.push_back(sub);
       }
     } else if (r < 0.80 && !subdirs.empty()) {
       // Rmdir (may fail if non-empty; that is fine).
       size_t idx = rng.Next() % subdirs.size();
-      if ((co_await m.fs().Rmdir(proc, subdirs[idx])) == FsStatus::kOk) {
+      if ((co_await m.vfs().Rmdir(proc, subdirs[idx])) == FsStatus::kOk) {
         subdirs.erase(subdirs.begin() + static_cast<ptrdiff_t>(idx));
       }
     } else if (r < 0.86) {
       // Rename.
       size_t idx = rng.Next() % files.size();
       std::string to = dir + "/r" + std::to_string(name_counter++);
-      if ((co_await m.fs().Rename(proc, files[idx], to)) == FsStatus::kOk) {
+      if ((co_await m.vfs().Rename(proc, files[idx], to)) == FsStatus::kOk) {
         files[idx] = to;
       }
     } else {
       // Compile: read a file, crunch, write an object.
       const std::string& path = files[rng.Next() % files.size()];
-      Result<uint32_t> ino = co_await m.fs().Lookup(proc, path);
+      Result<uint32_t> ino = co_await m.vfs().Lookup(proc, path);
       if (ino.Ok()) {
         std::vector<uint8_t> buf(8192);
-        (void)co_await m.fs().ReadFile(proc, ino.value(), 0, buf);
+        (void)co_await m.vfs().ReadFile(proc, ino.value(), 0, buf);
         co_await m.cpu().Consume(proc.pid, Msec(80));
         std::string obj = dir + "/o" + std::to_string(name_counter++);
-        Result<uint32_t> oino = co_await m.fs().Create(proc, obj);
+        Result<uint32_t> oino = co_await m.vfs().Create(proc, obj);
         if (oino.Ok()) {
           co_await WriteTagged(m, proc, oino.value(), 2048 + rng.Next() % 16384);
           files.push_back(obj);
@@ -345,7 +345,7 @@ namespace {
 // Create + initial tagged write; returns the new ino (or the failure).
 Task<Result<uint32_t>> CreateTagged(Machine& m, Proc& proc, const std::string& path,
                                     uint64_t bytes) {
-  Result<uint32_t> ino = co_await m.fs().Create(proc, path);
+  Result<uint32_t> ino = co_await m.vfs().Create(proc, path);
   if (!ino.Ok()) {
     co_return ino;
   }
@@ -359,28 +359,28 @@ Task<Result<uint32_t>> CreateTagged(Machine& m, Proc& proc, const std::string& p
 // Block-aligned append of `bytes` of tagged data (tags are per-block, so
 // appends keep the file fsck-verifiable).
 Task<FsStatus> AppendTagged(Machine& m, Proc& proc, uint32_t ino, uint64_t bytes) {
-  Result<StatInfo> st = co_await m.fs().StatIno(proc, ino);
+  Result<StatInfo> st = co_await m.vfs().StatIno(proc, ino);
   if (!st.Ok()) {
     co_return st.status();
   }
   uint64_t off = (st.value().size + kBlockSize - 1) / kBlockSize * kBlockSize;
   std::vector<uint8_t> data = MakeTaggedData(ino, st.value().generation, bytes);
-  Result<uint64_t> w = co_await m.fs().WriteFile(proc, ino, off, data);
+  Result<uint64_t> w = co_await m.vfs().WriteFile(proc, ino, off, data);
   co_return w.Ok() ? FsStatus::kOk : w.status();
 }
 
 // Whole-file read through Lookup (cold reads hit the disk).
 Task<bool> ReadWhole(Machine& m, Proc& proc, const std::string& path) {
-  Result<uint32_t> ino = co_await m.fs().Lookup(proc, path);
+  Result<uint32_t> ino = co_await m.vfs().Lookup(proc, path);
   if (!ino.Ok()) {
     co_return false;
   }
-  Result<StatInfo> st = co_await m.fs().StatIno(proc, ino.value());
+  Result<StatInfo> st = co_await m.vfs().StatIno(proc, ino.value());
   if (!st.Ok()) {
     co_return false;
   }
   std::vector<uint8_t> buf(std::max<uint64_t>(st.value().size, 1));
-  Result<uint64_t> r = co_await m.fs().ReadFile(proc, ino.value(), 0, buf);
+  Result<uint64_t> r = co_await m.vfs().ReadFile(proc, ino.value(), 0, buf);
   co_return r.Ok();
 }
 
@@ -391,7 +391,7 @@ Task<FsStatus> MailServerWorkload(Machine& m, Proc& proc, const std::string& roo
   Rng rng(seed);
   PersonalityOpMix mx;
   for (const std::string& d : {root, root + "/tmp", root + "/new", root + "/cur"}) {
-    FsStatus s = co_await m.fs().Mkdir(proc, d);
+    FsStatus s = co_await m.vfs().Mkdir(proc, d);
     if (s != FsStatus::kOk && s != FsStatus::kExists) {
       co_return s;
     }
@@ -418,7 +418,7 @@ Task<FsStatus> MailServerWorkload(Machine& m, Proc& proc, const std::string& roo
         continue;
       }
       ++mx.creates;
-      if ((co_await m.fs().Rename(proc, root + "/tmp/" + name, root + "/new/" + name)) ==
+      if ((co_await m.vfs().Rename(proc, root + "/tmp/" + name, root + "/new/" + name)) ==
           FsStatus::kOk) {
         ++mx.renames;
         fresh.push_back(name);
@@ -427,7 +427,7 @@ Task<FsStatus> MailServerWorkload(Machine& m, Proc& proc, const std::string& roo
       // A reader notices the message: move new/ -> cur/.
       size_t idx = rng.Next() % fresh.size();
       std::string name = fresh[idx];
-      if ((co_await m.fs().Rename(proc, root + "/new/" + name, root + "/cur/" + name)) ==
+      if ((co_await m.vfs().Rename(proc, root + "/new/" + name, root + "/cur/" + name)) ==
           FsStatus::kOk) {
         ++mx.renames;
         seen.push_back(name);
@@ -436,7 +436,7 @@ Task<FsStatus> MailServerWorkload(Machine& m, Proc& proc, const std::string& roo
     } else if (r < 0.70 && !seen.empty()) {
       // Re-read a seen message.
       std::string path = root + "/cur/" + seen[rng.Next() % seen.size()];
-      Result<StatInfo> st = co_await m.fs().Stat(proc, path);
+      Result<StatInfo> st = co_await m.vfs().Stat(proc, path);
       if (st.Ok()) {
         ++mx.stats;
       }
@@ -451,7 +451,7 @@ Task<FsStatus> MailServerWorkload(Machine& m, Proc& proc, const std::string& roo
     } else if (!seen.empty()) {
       // Expunge.
       size_t idx = rng.Next() % seen.size();
-      if ((co_await m.fs().Unlink(proc, root + "/cur/" + seen[idx])) == FsStatus::kOk) {
+      if ((co_await m.vfs().Unlink(proc, root + "/cur/" + seen[idx])) == FsStatus::kOk) {
         ++mx.unlinks;
         seen.erase(seen.begin() + static_cast<ptrdiff_t>(idx));
       }
@@ -467,7 +467,7 @@ Task<FsStatus> BuildFarmWorkload(Machine& m, Proc& proc, const std::string& root
                                  uint64_t seed, int operations, PersonalityOpMix* mix) {
   Rng rng(seed);
   PersonalityOpMix mx;
-  FsStatus s = co_await m.fs().Mkdir(proc, root);
+  FsStatus s = co_await m.vfs().Mkdir(proc, root);
   if (s != FsStatus::kOk && s != FsStatus::kExists) {
     co_return s;
   }
@@ -477,7 +477,7 @@ Task<FsStatus> BuildFarmWorkload(Machine& m, Proc& proc, const std::string& root
   std::string path = root;
   for (int d = 0; d < 6; ++d) {
     path += "/d" + std::to_string(d);
-    s = co_await m.fs().Mkdir(proc, path);
+    s = co_await m.vfs().Mkdir(proc, path);
     if (s != FsStatus::kOk) {
       co_return s;
     }
@@ -503,12 +503,12 @@ Task<FsStatus> BuildFarmWorkload(Machine& m, Proc& proc, const std::string& root
     if (r < 0.55) {
       // Dependency scan: make stats every node along every deep path.
       for (const std::string& dir : dirs) {
-        if ((co_await m.fs().Stat(proc, dir)).Ok()) {
+        if ((co_await m.vfs().Stat(proc, dir)).Ok()) {
           ++mx.stats;
         }
       }
       for (const std::string& src : sources) {
-        if ((co_await m.fs().Stat(proc, src)).Ok()) {
+        if ((co_await m.vfs().Stat(proc, src)).Ok()) {
           ++mx.stats;
         }
       }
@@ -528,7 +528,7 @@ Task<FsStatus> BuildFarmWorkload(Machine& m, Proc& proc, const std::string& root
     } else if (r < 0.90) {
       // Incremental edit: rewrite a source in place.
       const std::string& src = sources[rng.Next() % sources.size()];
-      Result<uint32_t> ino = co_await m.fs().Lookup(proc, src);
+      Result<uint32_t> ino = co_await m.vfs().Lookup(proc, src);
       if (ino.Ok() &&
           (co_await WriteTagged(m, proc, ino.value(), 2048 + rng.Next() % 6144)) ==
               FsStatus::kOk) {
@@ -537,7 +537,7 @@ Task<FsStatus> BuildFarmWorkload(Machine& m, Proc& proc, const std::string& root
     } else {
       // Clean pass: remove every object.
       for (const std::string& obj : objects) {
-        if ((co_await m.fs().Unlink(proc, obj)) == FsStatus::kOk) {
+        if ((co_await m.vfs().Unlink(proc, obj)) == FsStatus::kOk) {
           ++mx.unlinks;
         }
       }
@@ -555,7 +555,7 @@ Task<FsStatus> WebAssetSwapWorkload(Machine& m, Proc& proc, const std::string& r
   Rng rng(seed);
   PersonalityOpMix mx;
   for (const std::string& d : {root, root + "/stage"}) {
-    FsStatus s = co_await m.fs().Mkdir(proc, d);
+    FsStatus s = co_await m.vfs().Mkdir(proc, d);
     if (s != FsStatus::kOk && s != FsStatus::kExists) {
       co_return s;
     }
@@ -585,15 +585,15 @@ Task<FsStatus> WebAssetSwapWorkload(Machine& m, Proc& proc, const std::string& r
         continue;
       }
       ++mx.creates;
-      if ((co_await m.fs().Unlink(proc, live)) == FsStatus::kOk) {
+      if ((co_await m.vfs().Unlink(proc, live)) == FsStatus::kOk) {
         ++mx.unlinks;
       }
-      if ((co_await m.fs().Rename(proc, staged, live)) == FsStatus::kOk) {
+      if ((co_await m.vfs().Rename(proc, staged, live)) == FsStatus::kOk) {
         ++mx.renames;
       }
     } else if (r < 0.90) {
       // Serve: stat (cache validation) + read.
-      if ((co_await m.fs().Stat(proc, live)).Ok()) {
+      if ((co_await m.vfs().Stat(proc, live)).Ok()) {
         ++mx.stats;
       }
       if (co_await ReadWhole(m, proc, live)) {
@@ -601,7 +601,7 @@ Task<FsStatus> WebAssetSwapWorkload(Machine& m, Proc& proc, const std::string& r
       }
     } else {
       // Directory listing (health check / index page).
-      if ((co_await m.fs().ReadDir(proc, root)).Ok()) {
+      if ((co_await m.vfs().ReadDir(proc, root)).Ok()) {
         ++mx.stats;
       }
     }
@@ -616,7 +616,7 @@ Task<FsStatus> CacheCleanupWorkload(Machine& m, Proc& proc, const std::string& r
                                     uint64_t seed, int operations, PersonalityOpMix* mix) {
   Rng rng(seed);
   PersonalityOpMix mx;
-  FsStatus s = co_await m.fs().Mkdir(proc, root);
+  FsStatus s = co_await m.vfs().Mkdir(proc, root);
   if (s != FsStatus::kOk && s != FsStatus::kExists) {
     co_return s;
   }
@@ -633,7 +633,7 @@ Task<FsStatus> CacheCleanupWorkload(Machine& m, Proc& proc, const std::string& r
     int fill = 8 + static_cast<int>(rng.Next() % 8);
     for (int i = 0; i < fill; ++i) {
       std::string bucket = root + "/b" + std::to_string(rng.Next() % kBuckets);
-      FsStatus bs = co_await m.fs().Mkdir(proc, bucket);
+      FsStatus bs = co_await m.vfs().Mkdir(proc, bucket);
       if (bs == FsStatus::kOk) {
         ++mx.mkdirs;
       } else if (bs != FsStatus::kExists) {
@@ -655,14 +655,14 @@ Task<FsStatus> CacheCleanupWorkload(Machine& m, Proc& proc, const std::string& r
     uint64_t total_bytes = 0;
     for (int b = 0; b < kBuckets; ++b) {
       std::string bucket = root + "/b" + std::to_string(b);
-      Result<std::vector<DirEntryInfo>> entries = co_await m.fs().ReadDir(proc, bucket);
+      Result<std::vector<DirEntryInfo>> entries = co_await m.vfs().ReadDir(proc, bucket);
       if (!entries.Ok()) {
         continue;
       }
       ++mx.stats;
       for (const DirEntryInfo& e : entries.value()) {
         std::string path = bucket + "/" + e.name;
-        Result<StatInfo> st = co_await m.fs().Stat(proc, path);
+        Result<StatInfo> st = co_await m.vfs().Stat(proc, path);
         if (!st.Ok()) {
           continue;
         }
@@ -682,7 +682,7 @@ Task<FsStatus> CacheCleanupWorkload(Machine& m, Proc& proc, const std::string& r
       if (freed >= budget) {
         break;
       }
-      if ((co_await m.fs().Unlink(proc, v.path)) == FsStatus::kOk) {
+      if ((co_await m.vfs().Unlink(proc, v.path)) == FsStatus::kOk) {
         ++mx.unlinks;
         freed += v.size;
       }
@@ -691,16 +691,16 @@ Task<FsStatus> CacheCleanupWorkload(Machine& m, Proc& proc, const std::string& r
     // purge every backing file and drop the directory), and drop any
     // other bucket the byte-budget eviction happened to empty.
     std::string expired = root + "/b" + std::to_string(round % kBuckets);
-    Result<std::vector<DirEntryInfo>> left = co_await m.fs().ReadDir(proc, expired);
+    Result<std::vector<DirEntryInfo>> left = co_await m.vfs().ReadDir(proc, expired);
     if (left.Ok()) {
       for (const DirEntryInfo& e : left.value()) {
-        if ((co_await m.fs().Unlink(proc, expired + "/" + e.name)) == FsStatus::kOk) {
+        if ((co_await m.vfs().Unlink(proc, expired + "/" + e.name)) == FsStatus::kOk) {
           ++mx.unlinks;
         }
       }
     }
     for (int b = 0; b < kBuckets; ++b) {
-      if ((co_await m.fs().Rmdir(proc, root + "/b" + std::to_string(b))) == FsStatus::kOk) {
+      if ((co_await m.vfs().Rmdir(proc, root + "/b" + std::to_string(b))) == FsStatus::kOk) {
         ++mx.rmdirs;
       }
     }
@@ -730,7 +730,7 @@ Task<void> SetupRoot(Machine* m, Proc* proc, const SetupFn* setup, RunnerState* 
     co_await (*setup)(*m, *proc);
   }
   // Flush the setup's dirt so the timed phase starts from a stable disk.
-  co_await m->fs().SyncEverything(*proc);
+  co_await m->vfs().SyncEverything(*proc);
   st->setup_done = true;
 }
 
@@ -754,8 +754,10 @@ RunMeasurement RunMultiUser(Machine& m, int num_users, const SetupFn& setup,
   m.engine().RunUntil([&] { return st.setup_done; });
 
   if (drop_caches_after_setup) {
-    m.fs().DropCleanInodes();
-    m.cache().DropClean();
+    m.vfs().DropCleanInodes();
+    for (size_t s = 0; s < m.NumShards(); ++s) {
+      m.cache(s).DropClean();
+    }
   }
 
   std::vector<Proc> procs;
@@ -767,8 +769,12 @@ RunMeasurement RunMultiUser(Machine& m, int num_users, const SetupFn& setup,
   for (int u = 0; u < num_users; ++u) {
     cpu0[static_cast<size_t>(u)] = m.cpu().Charged(procs[static_cast<size_t>(u)].pid);
   }
-  uint64_t req0 = m.driver().TotalRequests();
-  size_t trace0 = m.driver().Traces().size();
+  std::vector<uint64_t> req0(m.NumDisks());
+  std::vector<size_t> trace0(m.NumDisks());
+  for (size_t d = 0; d < m.NumDisks(); ++d) {
+    req0[d] = m.driver(d).TotalRequests();
+    trace0[d] = m.driver(d).Traces().size();
+  }
   SimTime t0 = m.engine().Now();
 
   for (int u = 0; u < num_users; ++u) {
@@ -782,8 +788,13 @@ RunMeasurement RunMultiUser(Machine& m, int num_users, const SetupFn& setup,
   // cover the whole benchmark, like the paper's system-wide statistics.
   SimTime deadline = t_users_done + Sec(90);
   m.engine().RunUntil([&] {
-    bool quiet = m.driver().PendingCount() == 0 && m.cache().DirtyCount() == 0 &&
-                 !m.fs().AnyDirtyInode() && m.syncer().PendingWork() == 0;
+    bool quiet = !m.vfs().AnyDirtyInode();
+    for (size_t d = 0; quiet && d < m.NumDisks(); ++d) {
+      quiet = m.driver(d).PendingCount() == 0;
+    }
+    for (size_t s = 0; quiet && s < m.NumShards(); ++s) {
+      quiet = m.cache(s).DirtyCount() == 0 && m.syncer(s).PendingWork() == 0;
+    }
     return quiet || m.engine().Now() >= deadline;
   });
 
@@ -797,15 +808,17 @@ RunMeasurement RunMultiUser(Machine& m, int num_users, const SetupFn& setup,
     out.cpu_seconds_total += ToSeconds(us.cpu);
   }
   out.wall = t_users_done - t0;
-  out.disk_requests = m.driver().TotalRequests() - req0;
-  const auto& traces = m.driver().Traces();
   double resp = 0;
   double access = 0;
   size_t n = 0;
-  for (size_t i = trace0; i < traces.size(); ++i) {
-    resp += ToMs(traces[i].ResponseTime());
-    access += ToMs(traces[i].AccessTime());
-    ++n;
+  for (size_t d = 0; d < m.NumDisks(); ++d) {
+    out.disk_requests += m.driver(d).TotalRequests() - req0[d];
+    const auto& traces = m.driver(d).Traces();
+    for (size_t i = trace0[d]; i < traces.size(); ++i) {
+      resp += ToMs(traces[i].ResponseTime());
+      access += ToMs(traces[i].AccessTime());
+      ++n;
+    }
   }
   if (n > 0) {
     out.avg_response_ms = resp / static_cast<double>(n);

@@ -30,8 +30,10 @@ bool RegenMode() {
 
 // A reduced 2-user copy workload: big enough to exercise every scheme
 // mechanism (allocation, directory growth, syncer flushes, ordering),
-// small enough to keep tier 1 fast.
-std::string RunGoldenWorkload(Scheme scheme) {
+// small enough to keep tier 1 fast. `disks` > 1 runs it on a striped
+// sharded machine; 1 pins the single-disk path (and must produce stats
+// byte-identical to a config that never mentions disks at all).
+std::string RunGoldenWorkload(Scheme scheme, uint32_t disks = 1) {
   TreeGenOptions opts;
   opts.file_count = 30;
   opts.total_bytes = 300'000;
@@ -40,6 +42,7 @@ std::string RunGoldenWorkload(Scheme scheme) {
 
   MachineConfig cfg;
   cfg.scheme = scheme;
+  cfg.disks = disks;
   Machine m(cfg);
   SetupFn setup = [&tree](Machine& mm, Proc& p) -> Task<void> {
     FsStatus s = co_await PopulateTree(mm, p, tree, "/src");
@@ -53,8 +56,8 @@ std::string RunGoldenWorkload(Scheme scheme) {
   return meas.stats_json;
 }
 
-void CheckGolden(Scheme scheme, const std::string& file) {
-  std::string actual = RunGoldenWorkload(scheme);
+void CheckGolden(Scheme scheme, const std::string& file, uint32_t disks = 1) {
+  std::string actual = RunGoldenWorkload(scheme, disks);
   ASSERT_FALSE(actual.empty());
   std::string path = GoldenPath(file);
   if (RegenMode()) {
@@ -84,6 +87,19 @@ TEST(GoldenStatsTest, ConventionalCopyStatsMatchGolden) {
 
 TEST(GoldenStatsTest, SoftUpdatesCopyStatsMatchGolden) {
   CheckGolden(Scheme::kSoftUpdates, "soft_updates_copy_seed42.json");
+}
+
+// --disks=1 is required to be the EXACT pre-volume machine: the same
+// golden bytes as a config that never mentions the flag.
+TEST(GoldenStatsTest, ExplicitSingleDiskMatchesSingleDiskGolden) {
+  CheckGolden(Scheme::kConventional, "conventional_copy_seed42.json", /*disks=*/1);
+}
+
+// The 4-disk striped/sharded machine gets its own golden: pins the
+// volume layer, shard routing, per-disk metric naming and the sharded
+// DumpStatsJson surface byte-for-byte.
+TEST(GoldenStatsTest, ConventionalCopyFourDiskStatsMatchGolden) {
+  CheckGolden(Scheme::kConventional, "conventional_copy_4disk_seed42.json", /*disks=*/4);
 }
 
 // --- Workload personality goldens: the zero-fault stats surface of each
