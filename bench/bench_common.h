@@ -26,6 +26,8 @@ namespace mufs {
 // --disks=N builds a striped multi-disk volume with sharded metadata
 // (1 = the exact single-disk machine) and --stripe-unit=K sets its
 // chunk size in blocks (0 keeps the machine default).
+// --fsck-threads=N runs boot-time crash recovery (and any harness-side
+// fsck) on N worker threads (0 = serial, byte-identical results).
 struct BenchArgs {
   int users = 0;
   std::string stats_out;
@@ -34,7 +36,8 @@ struct BenchArgs {
   uint32_t queue_depth = 1;
   uint32_t disks = 1;
   uint32_t stripe_unit = 0;
-  uint32_t shards = 0;  // 0 = one shard per disk.
+  uint32_t shards = 0;        // 0 = one shard per disk.
+  uint32_t fsck_threads = 0;  // 0 = serial recovery.
 };
 
 // Parses the shared flags, REMOVING recognized arguments from argv so a
@@ -88,6 +91,13 @@ inline BenchArgs ParseBenchArgs(int* argc, char** argv, int default_users = 0) {
       } else {
         std::fprintf(stderr, "warning: ignoring bad %s\n", argv[i]);
       }
+    } else if (a.rfind("--fsck-threads=", 0) == 0) {
+      int n = std::atoi(argv[i] + 15);
+      if (n >= 0) {
+        args.fsck_threads = static_cast<uint32_t>(n);
+      } else {
+        std::fprintf(stderr, "warning: ignoring bad %s\n", argv[i]);
+      }
     } else {
       argv[kept++] = argv[i];
     }
@@ -108,6 +118,8 @@ inline void ApplyFaultArgs(MachineConfig* cfg, const BenchArgs& args) {
     cfg->stripe_unit = args.stripe_unit;
   }
   cfg->shards = args.shards;  // 0 (the default) = one shard per disk.
+  // 0 (the default) keeps boot-time recovery serial (byte-identical).
+  cfg->recovery_threads = args.fsck_threads;
 }
 
 inline MachineConfig BenchConfig(Scheme scheme, bool alloc_init = false) {

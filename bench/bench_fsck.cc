@@ -1,0 +1,274 @@
+// Parallel fsck/repair benchmark: wall-clock check and repair time over
+// deterministic crash images, serial (threads=0) vs the threaded
+// pipeline (src/fsck/pfsck.h) at 2/4/8 workers, on single-disk and
+// 4-disk sharded volumes.
+//
+// This is the recovery-time companion to the paper's update-performance
+// tables: metadata-update schemes are judged by BOTH steady-state
+// throughput and how long the post-crash check takes. The threaded
+// checker attacks the second axis without changing the first (threads=0
+// is byte-identical to the serial checker, enforced by the pfsck test
+// battery; this bench re-asserts report identity on every cell).
+//
+// Extra flags (on top of bench_common's shared set):
+//   --quick            small workload only, fewer timing repetitions
+//                      (CI smoke mode).
+//   --json-out=PATH    write the perf-trajectory summary (BENCH_fsck.json
+//                      schema) to PATH instead of ./BENCH_fsck.json.
+#include "bench/bench_common.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fsck/crash_harness.h"
+#include "src/fsck/fsck.h"
+#include "src/fsck/pfsck.h"
+
+namespace mufs {
+namespace {
+
+int64_t WallNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Metadata churn sized by (dirs, files-per-dir): creates, partial
+// unlinks, a second create wave and renames, with syncer flushes in
+// between so the 2/3-of-run crash image holds a rich mix of settled and
+// in-flight metadata.
+CrashHarness::Workload Churn(int dirs, int files) {
+  return [dirs, files](Machine& m, Proc& p) -> Task<void> {
+    for (int d = 0; d < dirs; ++d) {
+      std::string dir = "/d" + std::to_string(d);
+      (void)co_await m.vfs().Mkdir(p, dir);
+      (void)co_await CreateFiles(m, p, dir, files, 2 * kBlockSize);
+    }
+    co_await m.engine().Sleep(Sec(4));
+    for (int d = 0; d < dirs; ++d) {
+      std::string dir = "/d" + std::to_string(d);
+      for (int i = 0; i < files; i += 3) {
+        (void)co_await m.vfs().Unlink(p, dir + "/c" + std::to_string(i));
+      }
+    }
+    co_await m.engine().Sleep(Sec(4));
+    for (int d = 0; d < dirs; ++d) {
+      std::string dir = "/d" + std::to_string(d);
+      (void)co_await CreateFiles(m, p, dir, files / 2, kBlockSize);
+      (void)co_await m.vfs().Rename(p, dir + "/c1", dir + "/renamed");
+    }
+  };
+}
+
+ShardLayout LayoutOf(const MachineConfig& cfg) {
+  Machine m(cfg);
+  ShardLayout layout;
+  layout.num_shards = static_cast<uint32_t>(m.NumShards());
+  layout.shard_blocks = m.ShardBlocks();
+  layout.ino_stride = m.InoStride();
+  return layout;
+}
+
+bool ReportsMatch(const FsckReport& a, const FsckReport& b) {
+  if (a.violations.size() != b.violations.size() || a.fixables.size() != b.fixables.size() ||
+      a.inodes_in_use != b.inodes_in_use || a.blocks_claimed != b.blocks_claimed) {
+    return false;
+  }
+  for (size_t i = 0; i < a.violations.size(); ++i) {
+    if (a.violations[i].detail != b.violations[i].detail) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.fixables.size(); ++i) {
+    if (a.fixables[i].detail != b.fixables[i].detail) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Cell {
+  std::string config;
+  uint32_t disks = 1;
+  uint32_t threads = 0;
+  uint32_t inodes_in_use = 0;
+  size_t findings = 0;
+  double check_ms = 0;
+  double repair_ms = 0;
+  double check_speedup = 1.0;
+  double repair_speedup = 1.0;
+  PfsckStats stats;
+};
+
+int Main(const BenchArgs& args, bool quick, const std::string& json_out) {
+  struct Size {
+    const char* name;
+    int dirs;
+    int files;
+  };
+  std::vector<Size> sizes = {{"small", 4, 30}};
+  if (!quick) {
+    sizes.push_back({"large", 8, 90});
+  }
+  const int reps = quick ? 2 : 3;
+  const uint32_t kThreads[] = {0, 2, 4, 8};
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  printf("Parallel fsck/repair: wall-clock check + repair of crash images (best of %d, "
+         "%u core%s)\n",
+         reps, cores, cores == 1 ? "" : "s");
+  if (cores <= 1) {
+    printf("NOTE: single-core host - threaded cells measure overhead only;\n");
+    printf("speedup requires as many physical cores as worker threads.\n");
+  }
+  PrintRule(110);
+  printf("%-16s %8s %8s %8s %12s %10s %12s %10s %10s %8s\n", "Config", "Disks", "Threads",
+         "Inodes", "Check(ms)", "Speedup", "Repair(ms)", "Speedup", "Conflicts", "Steals");
+  PrintRule(110);
+
+  StatsSidecar sidecar("bench_fsck", args.stats_out);
+  std::vector<Cell> cells;
+  bool mismatch = false;
+
+  for (const Size& size : sizes) {
+    for (uint32_t disks : {1u, 4u}) {
+      MachineConfig cfg;
+      cfg.scheme = Scheme::kNoOrder;  // Maximum damage => maximum check work.
+      cfg.disks = disks;
+      cfg.syncer.sweep_seconds = 3;
+      CrashHarness harness(cfg);
+      CrashHarness::Workload churn = Churn(size.dirs, size.files);
+      uint64_t total_writes = harness.MeasureWrites(churn);
+      // Crash INSIDE the final flush burst: most metadata has reached the
+      // disk (a rich directory tree to walk) but the last few writes are
+      // still in flight (real findings to merge).
+      uint64_t crash_at = total_writes > 12 ? total_writes - 12 : total_writes * 5 / 6;
+      DiskImage crash = harness.CrashImageAtWrite(churn, crash_at);
+      ShardLayout layout = LayoutOf(cfg);
+      std::string config = std::string(size.name) + "_" + std::to_string(disks) + "d";
+
+      FsckReport serial_report;
+      double serial_check_ms = 0;
+      double serial_repair_ms = 0;
+      for (uint32_t threads : kThreads) {
+        FsckOptions opts;
+        opts.check_stale_data = true;
+        opts.threads = threads;
+        Cell cell;
+        cell.config = config;
+        cell.disks = disks;
+        cell.threads = threads;
+
+        FsckReport report;
+        double best_check = 0;
+        for (int r = 0; r < reps; ++r) {
+          PfsckStats stats;
+          int64_t t0 = WallNs();
+          report = PfsckCheckSharded(crash, layout, opts, &stats);
+          double ms = static_cast<double>(WallNs() - t0) / 1e6;
+          if (r == 0 || ms < best_check) {
+            best_check = ms;
+            cell.stats = stats;
+          }
+        }
+        double best_repair = 0;
+        for (int r = 0; r < reps; ++r) {
+          DiskImage copy = crash.Snapshot();
+          int64_t t0 = WallNs();
+          FsckRepairReport rep;
+          PfsckRepairSharded(&copy, layout, opts, &rep);
+          double ms = static_cast<double>(WallNs() - t0) / 1e6;
+          if (r == 0 || ms < best_repair) {
+            best_repair = ms;
+          }
+        }
+
+        cell.inodes_in_use = report.inodes_in_use;
+        cell.findings = report.violations.size() + report.fixables.size();
+        cell.check_ms = best_check;
+        cell.repair_ms = best_repair;
+        if (threads == 0) {
+          serial_report = report;
+          serial_check_ms = best_check;
+          serial_repair_ms = best_repair;
+        } else if (!ReportsMatch(serial_report, report)) {
+          fprintf(stderr, "ERROR: %s threads=%u report differs from serial\n",
+                  config.c_str(), threads);
+          mismatch = true;
+        }
+        cell.check_speedup = cell.check_ms > 0 ? serial_check_ms / cell.check_ms : 1.0;
+        cell.repair_speedup = cell.repair_ms > 0 ? serial_repair_ms / cell.repair_ms : 1.0;
+        cells.push_back(cell);
+
+        printf("%-16s %8u %8u %8u %12.3f %9.2fx %12.3f %9.2fx %10llu %8llu\n",
+               config.c_str(), disks, threads, cell.inodes_in_use, cell.check_ms,
+               cell.check_speedup, cell.repair_ms, cell.repair_speedup,
+               static_cast<unsigned long long>(cell.stats.merge_conflicts),
+               static_cast<unsigned long long>(cell.stats.work_steals));
+
+        char json[512];
+        snprintf(json, sizeof(json),
+                 "{\"threads\":%u,\"check_ms\":%.3f,\"repair_ms\":%.3f,"
+                 "\"inode_scan_ns\":%lld,\"dir_walk_ns\":%lld,\"merge_ns\":%lld,"
+                 "\"audit_ns\":%lld,\"work_steals\":%llu,\"merge_conflicts\":%llu,"
+                 "\"shard_checks\":%llu,\"findings\":%zu}",
+                 threads, cell.check_ms, cell.repair_ms,
+                 static_cast<long long>(cell.stats.inode_scan_ns),
+                 static_cast<long long>(cell.stats.dir_walk_ns),
+                 static_cast<long long>(cell.stats.merge_ns),
+                 static_cast<long long>(cell.stats.audit_ns),
+                 static_cast<unsigned long long>(cell.stats.work_steals),
+                 static_cast<unsigned long long>(cell.stats.merge_conflicts),
+                 static_cast<unsigned long long>(cell.stats.shard_checks), cell.findings);
+        sidecar.Append(config + "/t" + std::to_string(threads), json);
+      }
+    }
+  }
+  PrintRule(110);
+  printf("Expected shape (multi-core hosts): multi-disk volumes check near-linearly\n");
+  printf("(one worker per shard region); single-disk images gain from the pipelined\n");
+  printf("inode-scan + directory-walk phases. threads=0 is the byte-identical serial\n");
+  printf("baseline; every threaded cell is re-checked against its report above.\n");
+
+  // Perf-trajectory summary (consumed by CI as BENCH_fsck.json).
+  std::string path = json_out.empty() ? "BENCH_fsck.json" : json_out;
+  if (FILE* f = fopen(path.c_str(), "w")) {
+    fprintf(f, "{\n  \"bench\": \"bench_fsck\",\n  \"cores\": %u,\n", cores);
+    fprintf(f, "  \"unit\": \"ms_wall_clock_best_of_%d\",\n  \"results\": [\n", reps);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      fprintf(f,
+              "    {\"config\": \"%s\", \"disks\": %u, \"threads\": %u, "
+              "\"check_ms\": %.3f, \"check_speedup\": %.2f, \"repair_ms\": %.3f, "
+              "\"repair_speedup\": %.2f}%s\n",
+              c.config.c_str(), c.disks, c.threads, c.check_ms, c.check_speedup,
+              c.repair_ms, c.repair_speedup, i + 1 < cells.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("[perf trajectory: %s]\n", path.c_str());
+  } else {
+    fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+  return mismatch ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace mufs
+
+int main(int argc, char** argv) {
+  mufs::BenchArgs args = mufs::ParseBenchArgs(&argc, argv);
+  bool quick = false;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a.rfind("--json-out=", 0) == 0) {
+      json_out = argv[i] + 11;
+    }
+  }
+  return mufs::Main(args, quick, json_out);
+}

@@ -27,37 +27,35 @@ CrashResult CrashAndCheck(Machine* m, const RunState& state, Scheme scheme,
   result.crash_time = m->engine().Now();
   result.torn_writes = m->image().TornWriteCount();
   DiskImage snapshot = m->CrashNow();
+  // Only the >1-thread path touches stats: the serial path must leave
+  // golden stats dumps byte-identical.
+  PfsckStats* stats = fsck_options.threads > 1 ? &result.fsck_stats : nullptr;
   if (m->NumShards() <= 1) {
     if (scheme == Scheme::kJournaling) {
       result.replay = JournalRecovery(&snapshot).Run();
     }
-    FsckChecker checker(&snapshot, fsck_options);
-    result.report = checker.Check();
-    return result;
-  }
-  for (size_t s = 0; s < m->NumShards(); ++s) {
+    result.report = PfsckCheck(&snapshot, fsck_options, stats);
+  } else {
+    // Journal replay stays serial, in shard order: it mutates the shared
+    // volume snapshot, and its report fields accumulate in shard order.
     if (scheme == Scheme::kJournaling) {
-      JournalReplayReport r = JournalRecovery(&snapshot, m->ShardBase(s)).Run();
-      result.replay.journal_present = result.replay.journal_present || r.journal_present;
-      result.replay.txns_replayed += r.txns_replayed;
-      result.replay.blocks_replayed += r.blocks_replayed;
-      result.replay.log_blocks_scanned += r.log_blocks_scanned;
-      result.replay.torn_tail = result.replay.torn_tail || r.torn_tail;
+      for (size_t s = 0; s < m->NumShards(); ++s) {
+        JournalReplayReport r = JournalRecovery(&snapshot, m->ShardBase(s)).Run();
+        result.replay.journal_present = result.replay.journal_present || r.journal_present;
+        result.replay.txns_replayed += r.txns_replayed;
+        result.replay.blocks_replayed += r.blocks_replayed;
+        result.replay.log_blocks_scanned += r.log_blocks_scanned;
+        result.replay.torn_tail = result.replay.torn_tail || r.torn_tail;
+      }
     }
-    DiskImage region = snapshot.ExtractRegion(m->ShardBase(s), m->ShardBlocks());
-    FsckOptions shard_options = fsck_options;
-    // Shard data blocks are tagged with GLOBAL inode numbers.
-    shard_options.tag_ino_base = static_cast<uint32_t>(s) * m->InoStride();
-    FsckChecker checker(&region, shard_options);
-    FsckReport report = checker.Check();
-    result.report.violations.insert(result.report.violations.end(),
-                                    report.violations.begin(), report.violations.end());
-    result.report.fixables.insert(result.report.fixables.end(), report.fixables.begin(),
-                                  report.fixables.end());
-    result.report.inodes_in_use += report.inodes_in_use;
-    result.report.dirs_seen += report.dirs_seen;
-    result.report.files_seen += report.files_seen;
-    result.report.blocks_claimed += report.blocks_claimed;
+    ShardLayout layout;
+    layout.num_shards = static_cast<uint32_t>(m->NumShards());
+    layout.shard_blocks = m->ShardBlocks();
+    layout.ino_stride = m->InoStride();
+    result.report = PfsckCheckSharded(snapshot, layout, fsck_options, stats);
+  }
+  if (stats != nullptr) {
+    RegisterPfsckStats(&m->stats(), *stats);
   }
   return result;
 }

@@ -13,6 +13,7 @@
 
 #include "src/core/machine.h"
 #include "src/fsck/fsck.h"
+#include "src/fsck/pfsck.h"
 #include "src/journal/journal_recovery.h"
 
 namespace mufs {
@@ -27,6 +28,9 @@ struct CrashResult {
   // reports what the replay did. Zeros for every other scheme.
   JournalReplayReport replay;
   FsckReport report;
+  // Phase accounting when fsck_options.threads > 1 routed the check
+  // through the parallel checker; all-zero on the serial path.
+  PfsckStats fsck_stats;
 };
 
 class CrashHarness {

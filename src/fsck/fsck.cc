@@ -306,12 +306,6 @@ FsckReport FsckChecker::Check() {
 // Repair
 // ---------------------------------------------------------------------
 
-namespace {
-// Repairs cascade (cleared entry -> orphan -> orphaned children); each
-// pass handles one level, so the cap bounds the orphan-tree depth.
-constexpr int kMaxRepairPasses = 16;
-}  // namespace
-
 DiskInode FsckRepairer::ReadInode(uint32_t ino) const {
   BlockData blk;
   image_->Read(sb_.ItableBlock(ino), &blk);
@@ -623,7 +617,7 @@ FsckRepairReport FsckRepairer::Repair() {
   if (!LoadSuper()) {
     return report;  // A bad superblock is beyond repair here.
   }
-  for (int pass = 0; pass < kMaxRepairPasses; ++pass) {
+  for (int pass = 0; pass < kMaxFsckRepairPasses; ++pass) {
     ++report.passes;
     RepairPass(&report);
     FsckReport check = FsckChecker(image_, options_).Check();

@@ -83,6 +83,12 @@ struct FsckOptions {
   // (shard * stride + local); checking one extracted shard region means
   // tag.ino == tag_ino_base + local ino. 0 for unsharded images.
   uint32_t tag_ino_base = 0;
+  // Worker threads for the parallel checker/repairer (src/fsck/pfsck.h).
+  // 0 (and 1) take the serial path - byte-identical reports guaranteed;
+  // >= 2 spawns that many std::thread workers outside the sim clock.
+  // FsckChecker/FsckRepairer themselves ignore this; PfsckCheck /
+  // PfsckRepair and the crash harness honor it.
+  uint32_t threads = 0;
 };
 
 class FsckChecker {
@@ -130,6 +136,10 @@ struct FsckRepairReport {
   }
 };
 
+// Repairs cascade (cleared entry -> orphan -> orphaned children); each
+// pass handles one level, so the cap bounds the orphan-tree depth.
+inline constexpr int kMaxFsckRepairPasses = 16;
+
 // Repairs a crashed image the way fsck would: drop directory entries that
 // cannot be trusted (garbage / dangling), zero invalid and duplicate
 // block pointers, free unreferenced inodes, rewrite link counts to the
@@ -144,11 +154,23 @@ class FsckRepairer {
 
   FsckRepairReport Repair();
 
- private:
+  // The two building blocks of Repair(), exposed so the parallel
+  // repairer (pfsck) can drive the identical serial mutation sequence
+  // with its own convergence re-check. LoadSuper must succeed before
+  // RunPass is called.
   bool LoadSuper();
+  void RunPass(FsckRepairReport* report) { RepairPass(report); }
+
+ private:
   void RepairPass(FsckRepairReport* report);
   // Zeroes out-of-range and duplicate block pointers; scrubs foreign data
-  // (when options_.check_stale_data). Fills block_owner_.
+  // (when options_.check_stale_data). Fills block_owner_. Duplicate-block
+  // resolution is DETERMINISTIC: the table is scanned in ascending inode
+  // order and within an inode in pointer order, so the winner of a
+  // duplicate claim is always the lowest (ino, pointer-position)
+  // claimant - never an artifact of map iteration order. The parallel
+  // repairer preserves this by replaying claims in the same serial
+  // order; fsck_test pins it.
   void ScrubInodePointers(FsckRepairReport* report);
   // Walks the tree from the root, zeroing garbage / dangling entries.
   // Fills ref_counts_ and child_dir_counts_.

@@ -40,20 +40,21 @@ struct Img {
     image.Write(s.ItableBlock(ino), b, 0);
   }
 
-  // Adds `name`->ino into the root directory (allocating root's first
-  // block at `dir_blk` if needed).
-  void AddRootEntry(const std::string& name, uint32_t ino, uint32_t dir_blk) {
-    DiskInode root = ReadInode(kRootIno);
-    if (root.direct[0] == 0) {
-      root.direct[0] = dir_blk;
-      root.size = kBlockSize;
-      WriteInode(kRootIno, root);
+  // Adds `name`->ino into directory `dir_ino` (allocating the dir's
+  // first block at `dir_blk` if needed).
+  void AddDirEntry(uint32_t dir_ino, const std::string& name, uint32_t ino,
+                   uint32_t dir_blk) {
+    DiskInode dir = ReadInode(dir_ino);
+    if (dir.direct[0] == 0) {
+      dir.direct[0] = dir_blk;
+      dir.size = kBlockSize;
+      WriteInode(dir_ino, dir);
       BlockData z;
       z.fill(0);
       image.Write(dir_blk, z, 0);
     }
     BlockData b;
-    image.Read(root.direct[0], &b);
+    image.Read(dir.direct[0], &b);
     for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
       DirEntry de;
       memcpy(&de, b.data() + e * kDirEntrySize, sizeof(de));
@@ -62,11 +63,43 @@ struct Img {
         de.SetName(name);
         de.reserved = 0;
         memcpy(b.data() + e * kDirEntrySize, &de, sizeof(de));
-        image.Write(root.direct[0], b, 0);
+        image.Write(dir.direct[0], b, 0);
         return;
       }
     }
     FAIL() << "no free slot";
+  }
+
+  void AddRootEntry(const std::string& name, uint32_t ino, uint32_t dir_blk) {
+    AddDirEntry(kRootIno, name, ino, dir_blk);
+  }
+
+  // Zeroes the entry for `ino` in directory `dir_ino`'s first block
+  // (direct corruption: a crash that lost the entry write).
+  void DropDirEntry(uint32_t dir_ino, uint32_t ino) {
+    DiskInode dir = ReadInode(dir_ino);
+    BlockData b;
+    image.Read(dir.direct[0], &b);
+    for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+      DirEntry de;
+      memcpy(&de, b.data() + e * kDirEntrySize, sizeof(de));
+      if (de.ino == ino) {
+        memset(b.data() + e * kDirEntrySize, 0, kDirEntrySize);
+        image.Write(dir.direct[0], b, 0);
+        return;
+      }
+    }
+    FAIL() << "entry not found";
+  }
+
+  // Creates a plausible directory inode (entries added via AddDirEntry).
+  uint32_t MakeDir(uint32_t ino, uint16_t nlink) {
+    DiskInode d;
+    d.mode = static_cast<uint16_t>(FileType::kDirectory);
+    d.nlink = nlink;
+    d.generation = 1;
+    WriteInode(ino, d);
+    return ino;
   }
 
   // Creates a plausible regular file inode.
@@ -271,6 +304,153 @@ TEST(FsckTest, BitmapMismatchesAreFixable) {
     }
   }
   EXPECT_GE(bitmap_findings, 2);
+}
+
+// --- repair accounting, convergence, and shard-region stale tags -----
+
+TEST(FsckRepairTest, TotalFixesSumsEveryCategory) {
+  // Pure accounting: TotalFixes is the sum of all six fix counters.
+  FsckRepairReport r;
+  r.dir_entries_cleared = 1;
+  r.link_counts_fixed = 2;
+  r.inodes_cleared = 3;
+  r.pointers_cleared = 4;
+  r.data_blocks_scrubbed = 5;
+  r.bitmap_bits_fixed = 6;
+  EXPECT_EQ(r.TotalFixes(), 21u);
+  EXPECT_EQ(FsckRepairReport{}.TotalFixes(), 0u);
+
+  // Integration: an image with one dangling entry, one duplicate
+  // pointer and one orphan produces fixes in exactly those categories,
+  // and TotalFixes reflects the counter sum.
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t shared = sb.data_start + 20;
+  img.MakeFile(5, 1, {shared});
+  img.AddRootEntry("keep", 5, sb.data_start + 1);
+  img.MakeFile(6, 1, {shared, sb.data_start + 21});  // Loses `shared` to ino 5.
+  img.AddRootEntry("dup", 6, sb.data_start + 1);
+  img.AddRootEntry("gone", 7, sb.data_start + 1);  // Ino 7 is free: dangling.
+  img.MakeFile(8, 1, {sb.data_start + 22});        // No entry: orphan.
+
+  FsckRepairReport rep = FsckRepairer(&img.image).Repair();
+  EXPECT_TRUE(rep.clean_after);
+  EXPECT_EQ(rep.dir_entries_cleared, 1u);
+  EXPECT_EQ(rep.pointers_cleared, 1u);
+  EXPECT_EQ(rep.inodes_cleared, 1u);
+  EXPECT_EQ(rep.TotalFixes(),
+            rep.dir_entries_cleared + rep.link_counts_fixed + rep.inodes_cleared +
+                rep.pointers_cleared + rep.data_blocks_scrubbed + rep.bitmap_bits_fixed);
+  EXPECT_GT(rep.TotalFixes(), 0u);
+}
+
+TEST(FsckRepairTest, CascadingOrphanChainConvergesAndStaysConverged) {
+  // root -> a(5) -> b(6) -> f(7), then the crash loses root's entry for
+  // "a": the whole chain is unreachable. Global reference counting from
+  // the directory walk collapses the full cascade in a single pass
+  // (every unreachable inode has zero walked refs), and the repair must
+  // converge well under the kMaxFsckRepairPasses cap and stay clean.
+  Img img;
+  SuperBlock sb = img.sb();
+  img.MakeDir(5, 2);
+  img.MakeDir(6, 2);
+  img.MakeFile(7, 1, {sb.data_start + 30});
+  img.AddRootEntry("a", 5, sb.data_start + 1);
+  img.AddDirEntry(5, "b", 6, sb.data_start + 2);
+  img.AddDirEntry(6, "f", 7, sb.data_start + 3);
+  // Normalize link counts and bitmaps so the ONLY damage is the lost
+  // entry.
+  FsckRepairReport normalize = FsckRepairer(&img.image).Repair();
+  ASSERT_TRUE(normalize.clean_after);
+  img.DropDirEntry(kRootIno, 5);
+
+  FsckRepairReport rep = FsckRepairer(&img.image).Repair();
+  EXPECT_TRUE(rep.clean_after);
+  EXPECT_EQ(rep.inodes_cleared, 3u);  // The whole a -> b -> f chain.
+  EXPECT_EQ(rep.passes, 1);
+  EXPECT_LE(rep.passes, kMaxFsckRepairPasses);
+  EXPECT_FALSE(img.ReadInode(5).InUse());
+  EXPECT_FALSE(img.ReadInode(6).InUse());
+  EXPECT_FALSE(img.ReadInode(7).InUse());
+
+  // Idempotence: repairing the repaired image changes nothing.
+  FsckRepairReport again = FsckRepairer(&img.image).Repair();
+  EXPECT_TRUE(again.clean_after);
+  EXPECT_EQ(again.passes, 1);
+  EXPECT_EQ(again.TotalFixes(), 0u);
+}
+
+TEST(FsckRepairTest, ShardRegionStaleTagsUseGlobalInoBase) {
+  // A shard region extracted from a volume tags its data with GLOBAL
+  // inode numbers (shard * stride + local). The checker and repairer
+  // must agree: with the right tag_ino_base the region is clean; with
+  // base 0 the same bytes read as a stale-data exposure and the repairer
+  // scrubs them.
+  constexpr uint32_t kStride = 1024;  // Pretend this is shard 1 of 2.
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t blk = sb.data_start + 33;
+  img.MakeFile(5, 1, {blk});
+  img.AddRootEntry("f", 5, sb.data_start + 1);
+  BlockData data;
+  data.fill(0x5a);
+  TagDataBlock(data.data(), kStride + 5, img.ReadInode(5).generation);
+  img.image.Write(blk, data, 0);
+
+  // Embed the region at shard offset 1 of a two-shard volume and pull
+  // it back out, as the crash harness does.
+  DiskImage volume(2 * kBlocks);
+  for (uint32_t b : img.image.WrittenBlocks()) {
+    BlockData content;
+    img.image.Read(b, &content);
+    volume.Write(kBlocks + b, content, 0);
+  }
+  DiskImage region = volume.ExtractRegion(kBlocks, kBlocks);
+
+  FsckOptions right;
+  right.check_stale_data = true;
+  right.tag_ino_base = kStride;
+  EXPECT_TRUE(FsckChecker(&region, right).Check().Clean());
+
+  FsckOptions wrong;
+  wrong.check_stale_data = true;
+  FsckReport flagged = FsckChecker(&region, wrong).Check();
+  ASSERT_FALSE(flagged.Clean());
+  EXPECT_EQ(flagged.violations[0].type, FsckViolationType::kStaleDataExposed);
+
+  // Repair with the right base leaves the data alone...
+  DiskImage keep = region.Snapshot();
+  FsckRepairReport kept = FsckRepairer(&keep, right).Repair();
+  EXPECT_EQ(kept.data_blocks_scrubbed, 0u);
+  BlockData after;
+  keep.Read(blk, &after);
+  EXPECT_EQ(after[sizeof(DataBlockTag)], 0x5a);
+  // ...with base 0 it scrubs the "foreign" block.
+  DiskImage scrub = region.Snapshot();
+  FsckRepairReport scrubbed = FsckRepairer(&scrub, wrong).Repair();
+  EXPECT_GE(scrubbed.data_blocks_scrubbed, 1u);
+  scrub.Read(blk, &after);
+  EXPECT_EQ(after[sizeof(DataBlockTag)], 0);
+}
+
+TEST(FsckRepairTest, DuplicateBlockWinnerIsLowestIno) {
+  // Satellite pin: duplicate-claim repair keeps the LOWEST-ino claimant
+  // deterministically (ascending table scan), independent of any map
+  // iteration order. Both files stay referenced so the loser survives
+  // with its pointer cleared rather than being orphan-freed.
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t shared = sb.data_start + 60;
+  img.MakeFile(5, 1, {shared});
+  img.MakeFile(9, 1, {shared});
+  img.AddRootEntry("low", 5, sb.data_start + 1);
+  img.AddRootEntry("high", 9, sb.data_start + 1);
+
+  FsckRepairReport rep = FsckRepairer(&img.image).Repair();
+  EXPECT_TRUE(rep.clean_after);
+  EXPECT_EQ(rep.pointers_cleared, 1u);
+  EXPECT_EQ(img.ReadInode(5).direct[0], shared) << "winner must be the lowest ino";
+  EXPECT_EQ(img.ReadInode(9).direct[0], 0u) << "loser's pointer must be cleared";
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+// Full parallel-fsck equivalence sweep (label: slow, run nightly under
+// TSan like fault_sweep_test): every scheme x {1,2,4} disks x a dense
+// sample of crash points x threads {2,4,8}. Each cell asserts the
+// parallel checker's report is byte-identical to the serial one, and a
+// sampled subset additionally repairs the crash image both ways and
+// asserts stable-storage byte-identity.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fsck/crash_harness.h"
+#include "src/fsck/fsck.h"
+#include "src/fsck/pfsck.h"
+#include "src/workload/workloads.h"
+#include "tests/pfsck_test_util.h"
+
+namespace mufs {
+namespace {
+
+struct SweepCase {
+  Scheme scheme;
+  uint32_t disks;
+  std::string name;
+};
+
+std::vector<SweepCase> AllCases() {
+  std::vector<SweepCase> cases;
+  for (Scheme scheme : {Scheme::kNoOrder, Scheme::kConventional, Scheme::kSchedulerFlag,
+                        Scheme::kSchedulerChains, Scheme::kSoftUpdates,
+                        Scheme::kJournaling}) {
+    for (uint32_t disks : {1u, 2u, 4u}) {
+      cases.push_back({scheme, disks,
+                       std::string(SchemeName(scheme)) + "_" + std::to_string(disks) + "d"});
+    }
+  }
+  return cases;
+}
+
+class PfsckSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PfsckSweepTest, ParallelCheckIdenticalAcrossCrashPoints) {
+  const SweepCase& c = GetParam();
+  MachineConfig cfg;
+  cfg.scheme = c.scheme;
+  cfg.disks = c.disks;
+  cfg.syncer.sweep_seconds = 3;
+  CrashHarness harness(cfg);
+  uint64_t total_writes = harness.MeasureWrites(PfsckChurn);
+  ASSERT_GT(total_writes, 10u);
+
+  std::vector<uint64_t> points;
+  for (int i = 1; i <= 8; ++i) {
+    uint64_t w = total_writes * static_cast<uint64_t>(i) / 9;
+    if (w > 0 && (points.empty() || points.back() != w)) {
+      points.push_back(w);
+    }
+  }
+
+  for (uint64_t w : points) {
+    FsckOptions serial_opts;
+    serial_opts.check_stale_data = true;
+    CrashResult serial = harness.RunAndCrashAtWrite(PfsckChurn, w, serial_opts);
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      FsckOptions par_opts = serial_opts;
+      par_opts.threads = threads;
+      CrashResult parallel = harness.RunAndCrashAtWrite(PfsckChurn, w, par_opts);
+      ExpectReportsIdentical(serial.report, parallel.report,
+                             c.name + " crash@write " + std::to_string(w) + " threads=" +
+                                 std::to_string(threads));
+    }
+  }
+
+  // Repair sweep on a sampled subset (repair iterates full check passes,
+  // so it is the expensive half).
+  ShardLayout layout = LayoutOf(cfg);
+  for (uint64_t w : {points.front(), points[points.size() / 2], points.back()}) {
+    DiskImage crash = harness.CrashImageAtWrite(PfsckChurn, w);
+    DiskImage serial_img = crash.Snapshot();
+    FsckOptions serial_opts;
+    FsckRepairReport serial_merged;
+    PfsckRepairSharded(&serial_img, layout, serial_opts, &serial_merged);
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      DiskImage par_img = crash.Snapshot();
+      FsckOptions par_opts;
+      par_opts.threads = threads;
+      FsckRepairReport par_merged;
+      PfsckRepairSharded(&par_img, layout, par_opts, &par_merged);
+      std::string context = c.name + " repair@write " + std::to_string(w) + " threads=" +
+                            std::to_string(threads);
+      ExpectRepairReportsIdentical(serial_merged, par_merged, context);
+      ExpectImagesIdentical(serial_img, par_img, context);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PfsckSweepTest, ::testing::ValuesIn(AllCases()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace mufs

@@ -1,0 +1,346 @@
+// Parallel-fsck equivalence battery (tier 1): for sampled crash points
+// across schemes and disk counts, the parallel checker's report and the
+// parallel repairer's image must be BYTE-identical to the serial path at
+// every thread count - plus handcrafted images that pin the two spots
+// where parallelism could legally diverge (cross-partition duplicate
+// claims, duplicate-winner choice) and the parallel boot-replay path.
+// The full crash-point sweep lives in pfsck_sweep_test.cc (label: slow).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/fs/filesystem.h"
+#include "src/fsck/crash_harness.h"
+#include "src/fsck/fsck.h"
+#include "src/fsck/pfsck.h"
+#include "src/workload/workloads.h"
+#include "tests/pfsck_test_util.h"
+
+namespace mufs {
+namespace {
+
+MachineConfig ConfigFor(Scheme scheme, uint32_t disks) {
+  MachineConfig cfg;
+  cfg.scheme = scheme;
+  cfg.disks = disks;
+  cfg.syncer.sweep_seconds = 3;
+  return cfg;
+}
+
+// --- harness-integrated report equivalence ---------------------------
+
+struct EquivCase {
+  Scheme scheme;
+  uint32_t disks;
+  const char* name;
+};
+
+class PfsckEquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(PfsckEquivalenceTest, ReportsIdenticalAtSampledCrashPoints) {
+  const EquivCase& c = GetParam();
+  MachineConfig cfg = ConfigFor(c.scheme, c.disks);
+  CrashHarness harness(cfg);
+  uint64_t total_writes = harness.MeasureWrites(PfsckChurn);
+  ASSERT_GT(total_writes, 10u);
+  for (uint64_t w : {total_writes / 4, total_writes / 2, (3 * total_writes) / 4}) {
+    if (w == 0) {
+      continue;
+    }
+    FsckOptions serial_opts;
+    serial_opts.check_stale_data = true;
+    CrashResult serial = harness.RunAndCrashAtWrite(PfsckChurn, w, serial_opts);
+    EXPECT_EQ(serial.fsck_stats.threads, 0u);
+    for (uint32_t threads : {2u, 4u}) {
+      FsckOptions par_opts = serial_opts;
+      par_opts.threads = threads;
+      // The simulation is deterministic: the re-run reaches the exact
+      // same crash image, so only the checker differs.
+      CrashResult parallel = harness.RunAndCrashAtWrite(PfsckChurn, w, par_opts);
+      std::string context = std::string(c.name) + " crash@write " + std::to_string(w) +
+                            " threads=" + std::to_string(threads);
+      EXPECT_EQ(parallel.fsck_stats.threads, threads) << context;
+      ExpectReportsIdentical(serial.report, parallel.report, context);
+      EXPECT_EQ(serial.replay.txns_replayed, parallel.replay.txns_replayed) << context;
+      EXPECT_EQ(serial.replay.blocks_replayed, parallel.replay.blocks_replayed) << context;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, PfsckEquivalenceTest,
+    ::testing::Values(EquivCase{Scheme::kNoOrder, 1, "NoOrder-1d"},
+                      EquivCase{Scheme::kNoOrder, 2, "NoOrder-2d"},
+                      EquivCase{Scheme::kSoftUpdates, 1, "SoftUpdates-1d"},
+                      EquivCase{Scheme::kSoftUpdates, 2, "SoftUpdates-2d"},
+                      EquivCase{Scheme::kJournaling, 1, "Journaling-1d"},
+                      EquivCase{Scheme::kJournaling, 2, "Journaling-2d"}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (char& ch : n) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return n;
+    });
+
+// --- repair equivalence on real crash images -------------------------
+
+TEST(PfsckRepairTest, RepairedImageByteIdenticalSingleDisk) {
+  // No Order leaves real damage at most crash points - the repair has
+  // actual work to do.
+  MachineConfig cfg = ConfigFor(Scheme::kNoOrder, 1);
+  CrashHarness harness(cfg);
+  uint64_t total_writes = harness.MeasureWrites(PfsckChurn);
+  ASSERT_GT(total_writes, 10u);
+  for (uint64_t w : {total_writes / 3, (2 * total_writes) / 3}) {
+    DiskImage crash = harness.CrashImageAtWrite(PfsckChurn, w);
+    DiskImage serial_img = crash.Snapshot();
+    FsckOptions opts;
+    FsckRepairReport serial = FsckRepairer(&serial_img, opts).Repair();
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      DiskImage par_img = crash.Snapshot();
+      FsckOptions par_opts;
+      par_opts.threads = threads;
+      PfsckStats stats;
+      FsckRepairReport parallel = PfsckRepair(&par_img, par_opts, &stats);
+      std::string context =
+          "crash@write " + std::to_string(w) + " threads=" + std::to_string(threads);
+      ExpectRepairReportsIdentical(serial, parallel, context);
+      ExpectImagesIdentical(serial_img, par_img, context);
+    }
+  }
+}
+
+TEST(PfsckRepairTest, ShardedRepairByteIdentical) {
+  MachineConfig cfg = ConfigFor(Scheme::kNoOrder, 2);
+  ShardLayout layout = LayoutOf(cfg);
+  ASSERT_EQ(layout.num_shards, 2u);
+  CrashHarness harness(cfg);
+  uint64_t total_writes = harness.MeasureWrites(PfsckChurn);
+  ASSERT_GT(total_writes, 10u);
+  DiskImage crash = harness.CrashImageAtWrite(PfsckChurn, total_writes / 2);
+
+  DiskImage serial_img = crash.Snapshot();
+  FsckOptions serial_opts;
+  FsckRepairReport serial_merged;
+  std::vector<FsckRepairReport> serial_reports =
+      PfsckRepairSharded(&serial_img, layout, serial_opts, &serial_merged);
+
+  for (uint32_t threads : {2u, 4u}) {
+    DiskImage par_img = crash.Snapshot();
+    FsckOptions par_opts;
+    par_opts.threads = threads;
+    FsckRepairReport par_merged;
+    PfsckStats stats;
+    std::vector<FsckRepairReport> par_reports =
+        PfsckRepairSharded(&par_img, layout, par_opts, &par_merged, &stats);
+    std::string context = "sharded threads=" + std::to_string(threads);
+    ASSERT_EQ(serial_reports.size(), par_reports.size()) << context;
+    for (size_t s = 0; s < serial_reports.size(); ++s) {
+      ExpectRepairReportsIdentical(serial_reports[s], par_reports[s],
+                                   context + " shard " + std::to_string(s));
+    }
+    ExpectRepairReportsIdentical(serial_merged, par_merged, context);
+    ExpectImagesIdentical(serial_img, par_img, context);
+    EXPECT_EQ(stats.shard_checks, 2u) << context;
+    // A repaired shard must re-check clean through the sharded checker.
+    FsckReport after = PfsckCheckSharded(par_img, layout, par_opts);
+    EXPECT_TRUE(after.violations.empty()) << context;
+    EXPECT_TRUE(after.fixables.empty()) << context;
+  }
+}
+
+// --- handcrafted images: the spots where parallelism could diverge ---
+
+constexpr uint32_t kBlocks = 4096;
+
+struct Img {
+  Img() : image(kBlocks) { FileSystem::Mkfs(&image, 1024); }
+
+  SuperBlock sb() const {
+    BlockData b;
+    image.Read(0, &b);
+    SuperBlock s;
+    memcpy(&s, b.data(), sizeof(s));
+    return s;
+  }
+
+  void WriteInode(uint32_t ino, const DiskInode& d) {
+    SuperBlock s = sb();
+    BlockData b;
+    image.Read(s.ItableBlock(ino), &b);
+    memcpy(b.data() + s.ItableOffset(ino), &d, sizeof(d));
+    image.Write(s.ItableBlock(ino), b, 0);
+  }
+
+  DiskInode ReadInode(uint32_t ino) const {
+    SuperBlock s = sb();
+    BlockData b;
+    image.Read(s.ItableBlock(ino), &b);
+    DiskInode d;
+    memcpy(&d, b.data() + s.ItableOffset(ino), sizeof(d));
+    return d;
+  }
+
+  uint32_t MakeFile(uint32_t ino, uint16_t nlink, std::initializer_list<uint32_t> blocks) {
+    DiskInode d;
+    d.mode = static_cast<uint16_t>(FileType::kRegular);
+    d.nlink = nlink;
+    d.generation = 1;
+    uint32_t i = 0;
+    for (uint32_t blk : blocks) {
+      d.direct[i++] = blk;
+    }
+    d.size = static_cast<uint64_t>(i) * kBlockSize;
+    WriteInode(ino, d);
+    return ino;
+  }
+
+  DiskImage image;
+};
+
+TEST(PfsckHandcraftedTest, CrossPartitionDuplicateClaimIsAMergeConflict) {
+  // Inodes 5 and 900 land in different scan partitions at 4 threads
+  // (16 chunks over 1023 inodes); both claim the same data block. The
+  // serial checker blames "claimed by ino 5 and ino 900" (lowest ino
+  // wins the earlier claim); the parallel merge must reproduce that
+  // verbatim AND surface the conflict in its stats.
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t shared = sb.data_start + 50;
+  img.MakeFile(5, 1, {shared});
+  img.MakeFile(900, 1, {shared, sb.data_start + 51});
+
+  FsckReport serial = FsckChecker(&img.image).Check();
+  ASSERT_FALSE(serial.violations.empty());
+  bool found = false;
+  for (const auto& v : serial.violations) {
+    if (v.type == FsckViolationType::kDuplicateBlockClaim) {
+      EXPECT_EQ(v.detail, "block " + std::to_string(shared) +
+                              " claimed by ino 5 and ino 900");
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    FsckOptions opts;
+    opts.threads = threads;
+    PfsckStats stats;
+    FsckReport parallel = PfsckCheck(&img.image, opts, &stats);
+    ExpectReportsIdentical(serial, parallel, "threads=" + std::to_string(threads));
+    EXPECT_GE(stats.merge_conflicts, 1u) << "threads=" << threads;
+  }
+}
+
+TEST(PfsckHandcraftedTest, DuplicateWinnerIsLowestInoInBothPaths) {
+  // Satellite: duplicate-block repair must keep the LOWEST-ino claimant,
+  // deterministically, serial and parallel alike.
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t shared = sb.data_start + 70;
+  img.MakeFile(5, 1, {shared});
+  img.MakeFile(9, 1, {shared});
+
+  Img par;
+  par.MakeFile(5, 1, {shared});
+  par.MakeFile(9, 1, {shared});
+
+  FsckRepairReport serial = FsckRepairer(&img.image).Repair();
+  FsckOptions opts;
+  opts.threads = 4;
+  FsckRepairReport parallel = PfsckRepair(&par.image, opts);
+
+  ExpectRepairReportsIdentical(serial, parallel, "lowest-ino winner");
+  ExpectImagesIdentical(img.image, par.image, "lowest-ino winner");
+  // Orphan clearing frees both files eventually (neither has a dir
+  // entry), but the POINTER scrub must have cleared ino 9's pointer,
+  // never ino 5's: pointers_cleared counts exactly the loser.
+  EXPECT_GE(serial.pointers_cleared, 1u);
+}
+
+TEST(PfsckHandcraftedTest, IndirectTreeDuplicateSkipsSubtreeLikeSerial) {
+  // An indirect block claimed by a lower inode first: the higher inode
+  // loses the claim and the serial checker never walks that subtree.
+  // The parallel replay must skip the identical subtree.
+  Img img;
+  SuperBlock sb = img.sb();
+  uint32_t iblk = sb.data_start + 100;
+  // ino 5 claims iblk as plain data; ino 800 uses it as its indirect
+  // block holding further (claimable) leaf pointers.
+  img.MakeFile(5, 1, {iblk});
+  DiskInode hi;
+  hi.mode = static_cast<uint16_t>(FileType::kRegular);
+  hi.nlink = 1;
+  hi.generation = 1;
+  hi.indirect = iblk;
+  hi.size = kBlockSize;
+  img.WriteInode(800, hi);
+  BlockData leaves;
+  leaves.fill(0);
+  uint32_t* ptrs = reinterpret_cast<uint32_t*>(leaves.data());
+  ptrs[0] = sb.data_start + 101;
+  ptrs[1] = sb.data_start + 102;
+  img.image.Write(iblk, leaves, 0);
+
+  FsckReport serial = FsckChecker(&img.image).Check();
+  // The two leaves were never claimed: ino 800 lost the indirect claim.
+  for (uint32_t threads : {2u, 4u}) {
+    FsckOptions opts;
+    opts.threads = threads;
+    FsckReport parallel = PfsckCheck(&img.image, opts);
+    ExpectReportsIdentical(serial, parallel,
+                           "indirect-dup threads=" + std::to_string(threads));
+  }
+}
+
+// --- parallel boot-time recovery -------------------------------------
+
+TEST(PfsckBootTest, ParallelShardReplayMatchesSerialBoot) {
+  MachineConfig cfg = ConfigFor(Scheme::kJournaling, 2);
+  CrashHarness harness(cfg);
+  uint64_t total_writes = harness.MeasureWrites(PfsckChurn);
+  ASSERT_GT(total_writes, 10u);
+  DiskImage crash = harness.CrashImageAtWrite(PfsckChurn, total_writes / 2);
+
+  auto boot_with = [&](uint32_t threads) {
+    MachineConfig boot_cfg = cfg;
+    boot_cfg.format = false;
+    boot_cfg.recovery_threads = threads;
+    auto m = std::make_unique<Machine>(boot_cfg);
+    m->LoadImage(crash);
+    Proc p = m->MakeProc("boot");
+    bool done = false;
+    auto root = [](Machine* mm, Proc* pp, bool* flag) -> Task<void> {
+      co_await mm->Boot(*pp);
+      *flag = true;
+    };
+    m->engine().Spawn(root(m.get(), &p, &done), "boot");
+    m->engine().RunUntil([&] { return done; });
+    return m;
+  };
+
+  auto serial = boot_with(0);
+  auto parallel = boot_with(4);
+  EXPECT_EQ(serial->last_replay().txns_replayed, parallel->last_replay().txns_replayed);
+  EXPECT_EQ(serial->last_replay().blocks_replayed,
+            parallel->last_replay().blocks_replayed);
+  EXPECT_EQ(serial->last_replay().torn_tail, parallel->last_replay().torn_tail);
+  // The recovered stable storage must be byte-identical: parallel replay
+  // must not change what the file systems subsequently read.
+  std::vector<uint32_t> blocks = serial->image().WrittenBlocks();
+  for (uint32_t blkno : blocks) {
+    BlockData a;
+    BlockData b;
+    serial->image().Read(blkno, &a);
+    parallel->image().Read(blkno, &b);
+    ASSERT_EQ(memcmp(a.data(), b.data(), a.size()), 0) << "block " << blkno;
+  }
+}
+
+}  // namespace
+}  // namespace mufs

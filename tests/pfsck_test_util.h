@@ -1,0 +1,114 @@
+// Shared helpers for the parallel-fsck equivalence battery: a metadata
+// churn workload that produces rich crash states (duplicate claims,
+// dangling entries, orphans, directory trees), plus comparators that
+// assert a parallel FsckReport / repaired image is BYTE-identical to the
+// serial one - same findings in the same order with the same detail
+// strings, same counters, same stable-storage bytes.
+#ifndef MUFS_TESTS_PFSCK_TEST_UTIL_H_
+#define MUFS_TESTS_PFSCK_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fsck/crash_harness.h"
+#include "src/fsck/fsck.h"
+#include "src/fsck/pfsck.h"
+#include "src/workload/workloads.h"
+
+namespace mufs {
+
+// Metadata churn with phase boundaries the syncer can flush between:
+// creates, partial deletes, reuse in a second directory, renames, a
+// create/remove burst and directory churn. Tagged data throughout, so
+// check_stale_data sweeps are meaningful. Uses the vfs surface - runs
+// unchanged on single-disk and sharded machines.
+inline Task<void> PfsckChurn(Machine& m, Proc& p) {
+  (void)co_await m.vfs().Mkdir(p, "/a");
+  (void)co_await m.vfs().Mkdir(p, "/b");
+  (void)co_await m.vfs().Mkdir(p, "/a/deep");
+  (void)co_await CreateFiles(m, p, "/a", 12, 2 * kBlockSize);
+  (void)co_await CreateFiles(m, p, "/a/deep", 4, kBlockSize);
+  co_await m.engine().Sleep(Sec(4));
+  for (int i = 0; i < 12; i += 2) {
+    (void)co_await m.vfs().Unlink(p, "/a/c" + std::to_string(i));
+  }
+  co_await m.engine().Sleep(Sec(4));
+  (void)co_await CreateFiles(m, p, "/b", 8, kBlockSize);
+  co_await m.engine().Sleep(Sec(4));
+  (void)co_await m.vfs().Rename(p, "/a/c1", "/a/renamed1");
+  (void)co_await m.vfs().Rename(p, "/a/c3", "/b/moved3");
+  (void)co_await CreateRemoveFiles(m, p, "/b", 6, kBlockSize);
+  (void)co_await m.vfs().Mkdir(p, "/a/sub");
+  (void)co_await m.vfs().Rmdir(p, "/a/sub");
+}
+
+// Asserts byte-identity of two FsckReports (not just set equality: the
+// parallel checker must reproduce the serial ORDER and detail strings).
+inline void ExpectReportsIdentical(const FsckReport& serial, const FsckReport& parallel,
+                                   const std::string& context) {
+  EXPECT_EQ(serial.inodes_in_use, parallel.inodes_in_use) << context;
+  EXPECT_EQ(serial.dirs_seen, parallel.dirs_seen) << context;
+  EXPECT_EQ(serial.files_seen, parallel.files_seen) << context;
+  EXPECT_EQ(serial.blocks_claimed, parallel.blocks_claimed) << context;
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size()) << context;
+  for (size_t i = 0; i < serial.violations.size(); ++i) {
+    EXPECT_EQ(serial.violations[i].type, parallel.violations[i].type)
+        << context << " violation " << i;
+    EXPECT_EQ(serial.violations[i].detail, parallel.violations[i].detail)
+        << context << " violation " << i;
+  }
+  ASSERT_EQ(serial.fixables.size(), parallel.fixables.size()) << context;
+  for (size_t i = 0; i < serial.fixables.size(); ++i) {
+    EXPECT_EQ(serial.fixables[i].detail, parallel.fixables[i].detail)
+        << context << " fixable " << i;
+  }
+}
+
+inline void ExpectRepairReportsIdentical(const FsckRepairReport& serial,
+                                         const FsckRepairReport& parallel,
+                                         const std::string& context) {
+  EXPECT_EQ(serial.passes, parallel.passes) << context;
+  EXPECT_EQ(serial.dir_entries_cleared, parallel.dir_entries_cleared) << context;
+  EXPECT_EQ(serial.link_counts_fixed, parallel.link_counts_fixed) << context;
+  EXPECT_EQ(serial.inodes_cleared, parallel.inodes_cleared) << context;
+  EXPECT_EQ(serial.pointers_cleared, parallel.pointers_cleared) << context;
+  EXPECT_EQ(serial.data_blocks_scrubbed, parallel.data_blocks_scrubbed) << context;
+  EXPECT_EQ(serial.bitmap_bits_fixed, parallel.bitmap_bits_fixed) << context;
+  EXPECT_EQ(serial.clean_after, parallel.clean_after) << context;
+}
+
+// Strict stable-storage identity: the same set of ever-written blocks
+// with the same bytes. (A parallel repair that "merely" converges to the
+// same reachable tree but touches different blocks would still fail.)
+inline void ExpectImagesIdentical(const DiskImage& a, const DiskImage& b,
+                                  const std::string& context) {
+  ASSERT_EQ(a.TotalBlocks(), b.TotalBlocks()) << context;
+  std::vector<uint32_t> wa = a.WrittenBlocks();
+  std::vector<uint32_t> wb = b.WrittenBlocks();
+  ASSERT_EQ(wa, wb) << context << ": written-block sets differ";
+  for (uint32_t blkno : wa) {
+    BlockData da;
+    BlockData db;
+    a.Read(blkno, &da);
+    b.Read(blkno, &db);
+    ASSERT_EQ(memcmp(da.data(), db.data(), da.size()), 0)
+        << context << ": block " << blkno << " differs";
+  }
+}
+
+// The shard geometry of a machine configuration, for driving
+// PfsckCheckSharded / PfsckRepairSharded directly against crash images.
+inline ShardLayout LayoutOf(const MachineConfig& cfg) {
+  Machine m(cfg);
+  ShardLayout layout;
+  layout.num_shards = static_cast<uint32_t>(m.NumShards());
+  layout.shard_blocks = m.ShardBlocks();
+  layout.ino_stride = m.InoStride();
+  return layout;
+}
+
+}  // namespace mufs
+
+#endif  // MUFS_TESTS_PFSCK_TEST_UTIL_H_
