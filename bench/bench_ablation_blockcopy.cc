@@ -18,7 +18,7 @@ int Main(const BenchArgs& args) {
   double copy_off = 0;
   double rm_on = 0;
   double rm_off = 0;
-  StatsSidecar sidecar("bench_ablation_blockcopy", args.stats_out);
+  StatsSidecar sidecar("bench_ablation_blockcopy", args);
   for (bool cb : {false, true}) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerChains);
     cfg.copy_blocks = cb;

@@ -15,7 +15,7 @@ int Main(const BenchArgs& args) {
   PrintRule(64);
   double tracked = 0;
   double barrier = 0;
-  StatsSidecar sidecar("bench_ablation_chains", args.stats_out);
+  StatsSidecar sidecar("bench_ablation_chains", args);
   for (bool track : {false, true}) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerChains);
     cfg.chains_track_freed = track;

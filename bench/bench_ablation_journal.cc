@@ -41,7 +41,7 @@ int Main(const BenchArgs& args) {
          "Txns", "LogWrites", "Ckpts", "Stalls", "Forced", "ReplayTxns");
   PrintRule(100);
 
-  StatsSidecar sidecar("bench_ablation_journal", args.stats_out);
+  StatsSidecar sidecar("bench_ablation_journal", args);
   for (uint32_t log_blocks : kLogBlocks) {
     for (const auto& iv : kIntervals) {
       MachineConfig cfg = BenchConfig(Scheme::kJournaling);

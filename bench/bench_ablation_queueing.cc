@@ -25,7 +25,7 @@ int Main(const BenchArgs& args) {
   }
   printf(" %12s\n", "qd16 vs qd1");
   PrintRule(78);
-  StatsSidecar sidecar("bench_ablation_queueing", args.stats_out);
+  StatsSidecar sidecar("bench_ablation_queueing", args);
   for (Scheme scheme : AllSchemes()) {
     printf("%-18s", std::string(SchemeName(scheme)).c_str());
     double base = 0;

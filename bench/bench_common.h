@@ -28,16 +28,20 @@ namespace mufs {
 // chunk size in blocks (0 keeps the machine default).
 // --fsck-threads=N runs boot-time crash recovery (and any harness-side
 // fsck) on N worker threads (0 = serial, byte-identical results).
+// --staleness-ns=N bounds how long an Async-scheme update may stay
+// visible-but-not-durable (0 keeps the machine default).
 struct BenchArgs {
   int users = 0;
   std::string stats_out;
+  std::string out_dir;  // Directory of the binary; sidecars default here.
   double fault_rate = 0;
   uint64_t fault_seed = 1;
   uint32_t queue_depth = 1;
   uint32_t disks = 1;
   uint32_t stripe_unit = 0;
-  uint32_t shards = 0;        // 0 = one shard per disk.
-  uint32_t fsck_threads = 0;  // 0 = serial recovery.
+  uint32_t shards = 0;         // 0 = one shard per disk.
+  uint32_t fsck_threads = 0;   // 0 = serial recovery.
+  uint64_t staleness_ns = 0;   // 0 = machine default (Async scheme only).
 };
 
 // Parses the shared flags, REMOVING recognized arguments from argv so a
@@ -47,6 +51,13 @@ struct BenchArgs {
 inline BenchArgs ParseBenchArgs(int* argc, char** argv, int default_users = 0) {
   BenchArgs args;
   args.users = default_users;
+  // Sidecars default next to the binary (i.e. under build/), never the
+  // caller's working directory, so repeated runs don't litter the repo.
+  std::string_view self = argv[0];
+  size_t slash = self.rfind('/');
+  if (slash != std::string_view::npos) {
+    args.out_dir = std::string(self.substr(0, slash));
+  }
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     std::string_view a = argv[i];
@@ -98,6 +109,8 @@ inline BenchArgs ParseBenchArgs(int* argc, char** argv, int default_users = 0) {
       } else {
         std::fprintf(stderr, "warning: ignoring bad %s\n", argv[i]);
       }
+    } else if (a.rfind("--staleness-ns=", 0) == 0) {
+      args.staleness_ns = std::strtoull(argv[i] + 15, nullptr, 10);
     } else {
       argv[kept++] = argv[i];
     }
@@ -120,6 +133,9 @@ inline void ApplyFaultArgs(MachineConfig* cfg, const BenchArgs& args) {
   cfg->shards = args.shards;  // 0 (the default) = one shard per disk.
   // 0 (the default) keeps boot-time recovery serial (byte-identical).
   cfg->recovery_threads = args.fsck_threads;
+  if (args.staleness_ns > 0) {
+    cfg->async_staleness_window = static_cast<SimDuration>(args.staleness_ns);
+  }
 }
 
 inline MachineConfig BenchConfig(Scheme scheme, bool alloc_init = false) {
@@ -136,9 +152,9 @@ inline MachineConfig BenchConfig(Scheme scheme, bool alloc_init = false) {
 }
 
 inline const std::vector<Scheme>& AllSchemes() {
-  static const std::vector<Scheme> schemes = {
-      Scheme::kConventional, Scheme::kSchedulerFlag, Scheme::kSchedulerChains,
-      Scheme::kSoftUpdates, Scheme::kJournaling, Scheme::kNoOrder};
+  // Derived from the canonical list in machine.h: a new scheme joins
+  // every bench table automatically.
+  static const std::vector<Scheme> schemes(std::begin(kAllSchemes), std::end(kAllSchemes));
   return schemes;
 }
 
@@ -187,15 +203,20 @@ inline void PrintRule(int width = 100) {
 }
 
 // Machine-readable companion to the printed tables: one JSONL record per
-// measured machine-run, written to "<bench_name>.stats.jsonl" in the
-// working directory. Each record is {"label":...,"run":<DumpStatsJson>},
-// so rows map 1:1 onto the paper tables/figures the binary prints.
+// measured machine-run, written to "<bench_name>.stats.jsonl" next to the
+// bench binary (i.e. under build/, which is gitignored) unless
+// --stats-out overrides the path. Each record is
+// {"label":...,"run":<DumpStatsJson>}, so rows map 1:1 onto the paper
+// tables/figures the binary prints.
 // Deterministic: same build + same seed => byte-identical file.
 class StatsSidecar {
  public:
-  // `override_path` (--stats-out) replaces the default path when set.
-  explicit StatsSidecar(const std::string& bench_name, const std::string& override_path = "")
-      : path_(override_path.empty() ? bench_name + ".stats.jsonl" : override_path) {
+  // args.stats_out (--stats-out) replaces the default path when set.
+  StatsSidecar(const std::string& bench_name, const BenchArgs& args)
+      : path_(!args.stats_out.empty()
+                  ? args.stats_out
+                  : (args.out_dir.empty() ? bench_name + ".stats.jsonl"
+                                          : args.out_dir + "/" + bench_name + ".stats.jsonl")) {
     f_ = std::fopen(path_.c_str(), "w");
     if (f_ == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());

@@ -30,7 +30,7 @@ int Main(const BenchArgs& args) {
   PrintRule(70);
   printf("%-10s %14s %20s\n", "Flag", "Elapsed(s)", "AvgDiskAccess(ms)");
   PrintRule(70);
-  StatsSidecar sidecar("bench_fig1_flag_semantics", args.stats_out);
+  StatsSidecar sidecar("bench_fig1_flag_semantics", args);
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(v.scheme);
     cfg.flag_semantics = v.semantics;

@@ -31,7 +31,7 @@ int Main(const BenchArgs& args) {
   PrintRule(70);
   printf("%-10s %14s %22s\n", "Flag", "Elapsed(s)", "AvgDriverResp(ms)");
   PrintRule(70);
-  StatsSidecar sidecar("bench_fig2_remove_semantics", args.stats_out);
+  StatsSidecar sidecar("bench_fig2_remove_semantics", args);
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(v.scheme);
     cfg.flag_semantics = v.semantics;

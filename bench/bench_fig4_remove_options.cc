@@ -25,7 +25,7 @@ int Main(const BenchArgs& args) {
   printf("%-12s %12s %10s %20s %16s\n", "Variant", "Elapsed(s)", "CPU(s)", "AvgDriverResp(ms)",
          "WriteLockWaits");
   PrintRule(86);
-  StatsSidecar sidecar("bench_fig4_remove_options", args.stats_out);
+  StatsSidecar sidecar("bench_fig4_remove_options", args);
   for (const Variant& v : kVariants) {
     MachineConfig cfg = BenchConfig(Scheme::kSchedulerFlag);
     cfg.flag_semantics = FlagSemantics::kPart;

@@ -77,7 +77,7 @@ int Main(const BenchArgs& args) {
       {Phase::kRemove, "Figure 5b: 1KB file removes (files/second)"},
       {Phase::kCreateRemove, "Figure 5c: 1KB file create/removes (pairs/second)"},
   };
-  StatsSidecar sidecar("bench_fig5_throughput", args.stats_out);
+  StatsSidecar sidecar("bench_fig5_throughput", args);
   for (const auto& ph : kPhases) {
     printf("%s\n", ph.title);
     PrintRule(78);

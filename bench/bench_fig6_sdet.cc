@@ -67,7 +67,7 @@ int Main(const BenchArgs& args) {
   }
   printf("\n");
   PrintRule(78);
-  StatsSidecar sidecar("bench_fig6_sdet", args.stats_out);
+  StatsSidecar sidecar("bench_fig6_sdet", args);
   for (Scheme s : AllSchemes()) {
     printf("%-18s", std::string(SchemeName(s)).c_str());
     for (int c : concurrency) {

@@ -128,7 +128,7 @@ int Main(const BenchArgs& args, bool quick, const std::string& json_out) {
          "Inodes", "Check(ms)", "Speedup", "Repair(ms)", "Speedup", "Conflicts", "Steals");
   PrintRule(110);
 
-  StatsSidecar sidecar("bench_fsck", args.stats_out);
+  StatsSidecar sidecar("bench_fsck", args);
   std::vector<Cell> cells;
   bool mismatch = false;
 

@@ -91,7 +91,7 @@ BENCHMARK(BM_FileCreateSimulated)
 // small deterministic simulated workload instead so this binary, like
 // every other bench, leaves a machine-readable record behind.
 void EmitSidecar(const BenchArgs& args) {
-  StatsSidecar sidecar("bench_micro_substrate", args.stats_out);
+  StatsSidecar sidecar("bench_micro_substrate", args);
   MachineConfig cfg;
   cfg.scheme = Scheme::kSoftUpdates;
   Machine m(cfg);

@@ -61,7 +61,7 @@ int Main(const BenchArgs& args) {
   }
   printf("\n");
   PrintRule(78);
-  StatsSidecar sidecar("bench_personalities", args.stats_out);
+  StatsSidecar sidecar("bench_personalities", args);
   for (Scheme s : AllSchemes()) {
     printf("%-18s", std::string(SchemeName(s)).c_str());
     for (const Personality& p : kPersonalities) {

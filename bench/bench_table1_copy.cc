@@ -53,7 +53,7 @@ int Main(const BenchArgs& args) {
 
   // Run No Order first to establish the baseline.
   double no_order_elapsed = 0;
-  StatsSidecar sidecar("bench_table1_copy", args.stats_out);
+  StatsSidecar sidecar("bench_table1_copy", args);
   std::vector<std::pair<Row, RunMeasurement>> results;
   for (const Row& row : rows) {
     MachineConfig cfg = BenchConfig(row.scheme, row.alloc_init);

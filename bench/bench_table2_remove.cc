@@ -30,7 +30,7 @@ int Main(const BenchArgs& args) {
   PrintRule();
 
   double no_order_elapsed = 0;
-  StatsSidecar sidecar("bench_table2_remove", args.stats_out);
+  StatsSidecar sidecar("bench_table2_remove", args);
   std::vector<std::pair<Scheme, RunMeasurement>> results;
   for (Scheme s : AllSchemes()) {
     MachineConfig cfg = BenchConfig(s);

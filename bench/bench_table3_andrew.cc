@@ -34,7 +34,7 @@ int Main(const BenchArgs& args) {
   printf("%-18s %9s %9s %9s %9s %9s %9s\n", "Scheme", "MakeDir", "Copy", "ScanDir", "ReadAll",
          "Compile", "Total");
   PrintRule(96);
-  StatsSidecar sidecar("bench_table3_andrew", args.stats_out);
+  StatsSidecar sidecar("bench_table3_andrew", args);
   for (Scheme s : AllSchemes()) {
     MachineConfig cfg = BenchConfig(s, /*alloc_init=*/s == Scheme::kSoftUpdates);
     Machine m(cfg);

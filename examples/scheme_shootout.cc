@@ -1,5 +1,5 @@
 // Scheme shootout: a compact version of the paper's headline comparison.
-// Copies and removes a source tree under all six ordering schemes and
+// Copies and removes a source tree under all seven ordering schemes and
 // prints elapsed times plus the I/O behaviour that explains them.
 //
 //   $ ./build/examples/scheme_shootout

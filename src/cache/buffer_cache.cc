@@ -204,6 +204,12 @@ uint64_t BufferCache::IssueWrite(BufRef buf, OrderingTag tag, bool from_syncer) 
   }
   buf->dirty_ = false;
   buf->syncer_mark_ = false;
+  // The write captures the buffer's current content (safe copy or io
+  // lock), so the visibility stamps it carries are on their way out; any
+  // later stamp re-marks the buffer for a future epoch. A failed write
+  // leaves the stamps cleared, which flush paths treat conservatively.
+  buf->visible_seq_ = 0;
+  buf->first_visible_seq_ = 0;
   stat_write_issues_->Inc();
   if (stats_->tracing()) {
     stats_->Trace("cache.flush",
@@ -323,6 +329,30 @@ Task<void> BufferCache::SyncAll() {
     for (auto& [blkno, buf] : buffers_) {
       if (buf->dirty_ && !buf->write_failed_ && !buf->io_locked_ &&
           buf->writes_in_flight_ == 0) {
+        dirty.push_back(buf);
+      }
+    }
+    if (dirty.empty() && driver_->PendingCount() == 0) {
+      co_return;
+    }
+    for (auto& buf : dirty) {
+      if (buf->dirty_ && !buf->write_failed_ && !buf->io_locked_ &&
+          buf->writes_in_flight_ == 0) {
+        IssueWrite(buf, OrderingTag{}, false);
+      }
+    }
+    co_await driver_->Drain();
+  }
+}
+
+Task<void> BufferCache::SyncVisibleThrough(uint64_t seq) {
+  // Same stable-loop as SyncAll; deferred releases run between rounds can
+  // dirty more epoch-covered buffers.
+  for (int round = 0; round < 200; ++round) {
+    std::vector<BufRef> dirty;
+    for (auto& [blkno, buf] : buffers_) {
+      if (buf->dirty_ && !buf->write_failed_ && !buf->io_locked_ &&
+          buf->writes_in_flight_ == 0 && buf->first_visible_seq_ <= seq) {
         dirty.push_back(buf);
       }
     }

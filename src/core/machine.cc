@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/async/async_policy.h"
 #include "src/core/softupdates/soft_updates_policy.h"
 #include "src/journal/journal_policy.h"
 
@@ -23,6 +24,8 @@ std::string_view ToString(Scheme s) {
       return "Soft Updates";
     case Scheme::kJournaling:
       return "Journaling";
+    case Scheme::kAsync:
+      return "Async";
   }
   return "?";
 }
@@ -41,6 +44,8 @@ std::string_view SchemeName(Scheme s) {
       return "SoftUpdates";
     case Scheme::kJournaling:
       return "Journaling";
+    case Scheme::kAsync:
+      return "Async";
   }
   return "?";
 }
@@ -94,13 +99,17 @@ CacheConfig MakeCacheConfig(const MachineConfig& cfg, StatsRegistry* stats) {
   c.capacity_blocks = cfg.cache_capacity_blocks;
   c.stats = stats;
   // -CB only matters for schemes that issue ordered async writes while
-  // processes keep updating the metadata.
+  // processes keep updating the metadata. The async scheme's epoch
+  // flusher writes hot buffers on a sub-second cadence, so it copies at
+  // issue too: op-return latency must never wait on a flush write lock.
   c.copy_blocks = cfg.copy_blocks && (cfg.scheme == Scheme::kSchedulerFlag ||
-                                      cfg.scheme == Scheme::kSchedulerChains);
+                                      cfg.scheme == Scheme::kSchedulerChains ||
+                                      cfg.scheme == Scheme::kAsync);
   return c;
 }
 
-std::unique_ptr<OrderingPolicy> MakePolicy(const MachineConfig& cfg, JournalManager* journal) {
+std::unique_ptr<OrderingPolicy> MakePolicy(const MachineConfig& cfg, JournalManager* journal,
+                                           VisibilityLedger* ledger) {
   switch (cfg.scheme) {
     case Scheme::kNoOrder:
       return std::make_unique<NoOrderPolicy>();
@@ -114,6 +123,8 @@ std::unique_ptr<OrderingPolicy> MakePolicy(const MachineConfig& cfg, JournalMana
       return std::make_unique<SoftUpdatesPolicy>();
     case Scheme::kJournaling:
       return std::make_unique<JournalPolicy>(journal);
+    case Scheme::kAsync:
+      return std::make_unique<AsyncPolicy>(ledger);
   }
   return nullptr;
 }
@@ -251,8 +262,21 @@ Machine::Machine(MachineConfig config) : config_(config) {
                                                            stats_.get(), jcfg));
       journals_.back()->AttachFs(fss_.back().get());
     }
+    if (config_.scheme == Scheme::kAsync) {
+      AsyncConfig acfg;
+      acfg.staleness_window = config_.async_staleness_window;
+      acfg.flush_interval = config_.async_flush_interval;
+      acfg.stats = stats_.get();
+      // Stagger the shards' epoch flushes across the cadence, like the
+      // syncers, so S flush bursts do not land on the volume at once.
+      acfg.initial_phase = VisibilityLedger::EffectiveFlushInterval(acfg) *
+                           static_cast<SimDuration>(s) / static_cast<SimDuration>(nshards);
+      ledgers_.push_back(std::make_unique<VisibilityLedger>(engine_.get(), acfg));
+      ledgers_.back()->AttachFs(fss_.back().get());
+    }
     policies_.push_back(
-        MakePolicy(config_, journals_.empty() ? nullptr : journals_.back().get()));
+        MakePolicy(config_, journals_.empty() ? nullptr : journals_.back().get(),
+                   ledgers_.empty() ? nullptr : ledgers_.back().get()));
     fss_.back()->SetPolicy(policies_.back().get());
   }
 
@@ -356,10 +380,16 @@ Task<void> Machine::Boot(Proc& proc) {
   for (auto& journal : journals_) {
     co_await journal->Start();
   }
+  for (auto& ledger : ledgers_) {
+    ledger->Start();
+  }
 }
 
 Task<void> Machine::Shutdown(Proc& proc) {
   co_await vfs().SyncEverything(proc);
+  for (auto& ledger : ledgers_) {
+    ledger->Stop();
+  }
   for (auto& journal : journals_) {
     journal->Stop();
   }

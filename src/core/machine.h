@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/async/visibility_ledger.h"
 #include "src/cache/buffer_cache.h"
 #include "src/cache/syncer.h"
 #include "src/core/policies.h"
@@ -49,6 +50,7 @@ enum class Scheme {
   kSchedulerChains,
   kSoftUpdates,
   kJournaling,
+  kAsync,
 };
 
 // Display name with spaces ("Soft Updates"), used in figures and logs.
@@ -57,6 +59,16 @@ std::string_view ToString(Scheme s);
 // bench tables and gtest parameter names. The one place scheme names are
 // stringified - everything else calls one of these two.
 std::string_view SchemeName(Scheme s);
+
+// Every scheme, in bench-table order (the unsafe NoOrder baseline last).
+// Sweep tests and bench tables enumerate this array instead of keeping
+// their own lists, so a new scheme propagates everywhere by being added
+// here (next to its SchemeName entry above).
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::kConventional, Scheme::kSchedulerFlag, Scheme::kSchedulerChains,
+    Scheme::kSoftUpdates,  Scheme::kJournaling,    Scheme::kAsync,
+    Scheme::kNoOrder,
+};
 
 struct MachineConfig {
   Scheme scheme = Scheme::kConventional;
@@ -89,6 +101,13 @@ struct MachineConfig {
   // log extent (journal superblock + ring) and the group-commit cadence.
   uint32_t journal_log_blocks = 1024;
   SimDuration journal_commit_interval = Sec(1);
+
+  // Async-scheme options (Scheme::kAsync only): the bounded staleness
+  // window (--staleness-ns) - an op that completed more than this long
+  // before a crash must be durable by the crash - and the background
+  // epoch-flush cadence (0 = staleness_window / 4). See src/async/.
+  SimDuration async_staleness_window = Msec(500);
+  SimDuration async_flush_interval = 0;
 
   // Disk fault injection (off by default: all rates zero). When enabled
   // the driver consults the injector on every service attempt and runs
@@ -180,6 +199,9 @@ class Machine {
   // Null unless the scheme is kJournaling (shard 0's journal on multi).
   JournalManager* journal() { return journals_.empty() ? nullptr : journals_[0].get(); }
   JournalManager* journal(size_t s) { return journals_[s].get(); }
+  // Null unless the scheme is kAsync (shard 0's ledger on multi).
+  VisibilityLedger* ledger() { return ledgers_.empty() ? nullptr : ledgers_[0].get(); }
+  VisibilityLedger* ledger(size_t s) { return ledgers_[s].get(); }
   // Null unless the machine is multi.
   StripedVolume* volume() { return volume_.get(); }
   ShardedFs* sharded() { return sharded_.get(); }
@@ -238,6 +260,7 @@ class Machine {
   std::vector<std::unique_ptr<SyncerDaemon>> syncers_;
   std::vector<std::unique_ptr<FileSystem>> fss_;
   std::vector<std::unique_ptr<JournalManager>> journals_;  // Empty unless journaling.
+  std::vector<std::unique_ptr<VisibilityLedger>> ledgers_;  // Empty unless async.
   std::vector<std::unique_ptr<OrderingPolicy>> policies_;
   std::unique_ptr<ShardedFs> sharded_;                 // Multi only.
   JournalReplayReport last_replay_;

@@ -97,16 +97,26 @@ Task<FsStatus> CopyTree(Machine& m, Proc& proc, const TreeSpec& tree,
 }
 
 Task<FsStatus> RemoveTree(Machine& m, Proc& proc, const TreeSpec& tree,
-                          const std::string& root) {
+                          const std::string& root, MetaOpLatency* lat) {
   for (const auto& f : tree.files) {
+    SimTime t0 = m.engine().Now();
     FsStatus s = co_await m.vfs().Unlink(proc, JoinPath(root, f.path));
+    if (lat != nullptr) {
+      ++lat->ops;
+      lat->total += m.engine().Now() - t0;
+    }
     if (s != FsStatus::kOk) {
       co_return s;
     }
   }
   // Children were appended after parents; remove in reverse order.
   for (auto it = tree.directories.rbegin(); it != tree.directories.rend(); ++it) {
+    SimTime t0 = m.engine().Now();
     FsStatus s = co_await m.vfs().Rmdir(proc, JoinPath(root, *it));
+    if (lat != nullptr) {
+      ++lat->ops;
+      lat->total += m.engine().Now() - t0;
+    }
     if (s != FsStatus::kOk) {
       co_return s;
     }
@@ -252,7 +262,7 @@ Task<AndrewTimes> AndrewBenchmark(Machine& m, Proc& proc, const TreeSpec& tree,
 // ---------------------------------------------------------------------
 
 Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64_t seed,
-                          int operations) {
+                          int operations, MetaOpLatency* lat) {
   Rng rng(seed);
   FsStatus s = co_await m.vfs().Mkdir(proc, dir);
   if (s != FsStatus::kOk && s != FsStatus::kExists) {
@@ -267,7 +277,12 @@ Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64
     if (r < 0.18 || files.empty()) {
       // Create a small file (an "edit session" output).
       std::string path = dir + "/f" + std::to_string(name_counter++);
+      SimTime t0 = m.engine().Now();
       Result<uint32_t> ino = co_await m.vfs().Create(proc, path);
+      if (lat != nullptr) {
+        ++lat->ops;
+        lat->total += m.engine().Now() - t0;
+      }
       if (ino.Ok()) {
         co_await WriteTagged(m, proc, ino.value(), 512 + rng.Next() % 8192);
         files.push_back(path);
@@ -291,7 +306,13 @@ Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64
     } else if (r < 0.63) {
       // Delete.
       size_t idx = rng.Next() % files.size();
-      if ((co_await m.vfs().Unlink(proc, files[idx])) == FsStatus::kOk) {
+      SimTime t0 = m.engine().Now();
+      FsStatus st = co_await m.vfs().Unlink(proc, files[idx]);
+      if (lat != nullptr) {
+        ++lat->ops;
+        lat->total += m.engine().Now() - t0;
+      }
+      if (st == FsStatus::kOk) {
         files.erase(files.begin() + static_cast<ptrdiff_t>(idx));
       }
     } else if (r < 0.71) {
@@ -300,20 +321,38 @@ Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64
     } else if (r < 0.76) {
       // Mkdir.
       std::string sub = dir + "/sub" + std::to_string(name_counter++);
-      if ((co_await m.vfs().Mkdir(proc, sub)) == FsStatus::kOk) {
+      SimTime t0 = m.engine().Now();
+      FsStatus st = co_await m.vfs().Mkdir(proc, sub);
+      if (lat != nullptr) {
+        ++lat->ops;
+        lat->total += m.engine().Now() - t0;
+      }
+      if (st == FsStatus::kOk) {
         subdirs.push_back(sub);
       }
     } else if (r < 0.80 && !subdirs.empty()) {
       // Rmdir (may fail if non-empty; that is fine).
       size_t idx = rng.Next() % subdirs.size();
-      if ((co_await m.vfs().Rmdir(proc, subdirs[idx])) == FsStatus::kOk) {
+      SimTime t0 = m.engine().Now();
+      FsStatus st = co_await m.vfs().Rmdir(proc, subdirs[idx]);
+      if (lat != nullptr) {
+        ++lat->ops;
+        lat->total += m.engine().Now() - t0;
+      }
+      if (st == FsStatus::kOk) {
         subdirs.erase(subdirs.begin() + static_cast<ptrdiff_t>(idx));
       }
     } else if (r < 0.86) {
       // Rename.
       size_t idx = rng.Next() % files.size();
       std::string to = dir + "/r" + std::to_string(name_counter++);
-      if ((co_await m.vfs().Rename(proc, files[idx], to)) == FsStatus::kOk) {
+      SimTime t0 = m.engine().Now();
+      FsStatus st = co_await m.vfs().Rename(proc, files[idx], to);
+      if (lat != nullptr) {
+        ++lat->ops;
+        lat->total += m.engine().Now() - t0;
+      }
+      if (st == FsStatus::kOk) {
         files[idx] = to;
       }
     } else {
@@ -325,7 +364,12 @@ Task<FsStatus> SdetScript(Machine& m, Proc& proc, const std::string& dir, uint64
         (void)co_await m.vfs().ReadFile(proc, ino.value(), 0, buf);
         co_await m.cpu().Consume(proc.pid, Msec(80));
         std::string obj = dir + "/o" + std::to_string(name_counter++);
+        SimTime t0 = m.engine().Now();
         Result<uint32_t> oino = co_await m.vfs().Create(proc, obj);
+        if (lat != nullptr) {
+          ++lat->ops;
+          lat->total += m.engine().Now() - t0;
+        }
         if (oino.Ok()) {
           co_await WriteTagged(m, proc, oino.value(), 2048 + rng.Next() % 16384);
           files.push_back(obj);

@@ -1,0 +1,246 @@
+// The Async scheme's contract, checked as crash-sweep properties:
+//
+//   1. Bounded staleness: an operation that completed more than
+//      `staleness_window` of simulated time before the crash survives
+//      recovery. Younger ops may be lost, but the image must still
+//      repair clean.
+//   2. Barrier semantics: a crash immediately after Fsync returns (and
+//      at points after it) preserves every pre-barrier metadata update.
+//   3. Determinism: the same seed yields a byte-identical stable-storage
+//      image and stats dump at queue depths {1,16} and disks {1,4}.
+//
+// The simulation is deterministic, so crash points are event counts: a
+// calibration run records when ops complete (or when the barrier
+// returns), and re-runs crash at exactly those moments.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/fsck/crash_harness.h"
+#include "src/workload/workloads.h"
+#include "tests/pfsck_test_util.h"
+
+namespace mufs {
+namespace {
+
+bool ImageHasRootEntry(const DiskImage& image, const std::string& name) {
+  BlockData blk;
+  image.Read(0, &blk);
+  SuperBlock sb;
+  memcpy(&sb, blk.data(), sizeof(sb));
+  BlockData itable;
+  image.Read(sb.ItableBlock(kRootIno), &itable);
+  DiskInode root;
+  memcpy(&root, itable.data() + sb.ItableOffset(kRootIno), sizeof(root));
+  for (uint32_t i = 0; i < kNumDirect; ++i) {
+    if (root.direct[i] == 0) {
+      continue;
+    }
+    BlockData dir;
+    image.Read(root.direct[i], &dir);
+    for (uint32_t e = 0; e < kDirEntriesPerBlock; ++e) {
+      DirEntry de;
+      memcpy(&de, dir.data() + e * kDirEntrySize, sizeof(de));
+      if (de.ino != 0 && de.Name() == name) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Repairs the image to a clean state (the Async recovery model) and
+// returns false only if repair cannot converge.
+bool RepairClean(DiskImage* img) {
+  FsckOptions fo;
+  FsckReport report = FsckChecker(img, fo).Check();
+  if (report.Clean()) {
+    return true;
+  }
+  FsckRepairReport fixed = FsckRepairer(img, fo).Repair();
+  return fixed.clean_after;
+}
+
+MachineConfig AsyncConfigFor(uint32_t queue_depth = 1, uint32_t disks = 1) {
+  MachineConfig cfg;
+  cfg.scheme = Scheme::kAsync;
+  cfg.queue_depth = queue_depth;
+  cfg.disks = disks;
+  cfg.syncer.sweep_seconds = 3;
+  cfg.async_staleness_window = Msec(500);
+  return cfg;
+}
+
+// --- 1. bounded staleness --------------------------------------------
+
+struct OpRecord {
+  std::string name;
+  SimTime completed;
+};
+
+// Creates root files spaced widely enough that the background flusher
+// (staleness/4 cadence) runs many epochs across the run, recording each
+// op's completion time. The log holds exactly the completed prefix when
+// a re-run is cut short by a crash.
+Task<void> StalenessOps(Machine* m, Proc* p, std::vector<OpRecord>* log, bool* done) {
+  co_await m->Boot(*p);
+  log->clear();
+  for (int i = 0; i < 16; ++i) {
+    std::string name = "f" + std::to_string(i);
+    (void)co_await m->fs().Create(*p, "/" + name);
+    log->push_back({name, m->engine().Now()});
+    co_await m->engine().Sleep(Msec(150));
+  }
+  *done = true;
+}
+
+TEST(AsyncContractTest, BoundedStalenessAcrossCrashSweep) {
+  MachineConfig cfg = AsyncConfigFor();
+  const SimDuration staleness = cfg.async_staleness_window;
+  std::vector<OpRecord> log;
+
+  // Calibration: full run (workload + settle) bounds the event sweep.
+  uint64_t total_events = 0;
+  {
+    Machine m(cfg);
+    Proc p = m.MakeProc("u");
+    bool done = false;
+    m.engine().Spawn(StalenessOps(&m, &p, &log, &done), "w");
+    m.engine().RunUntil([&] { return done; });
+    ASSERT_TRUE(done);
+    ASSERT_EQ(log.size(), 16u);
+    SimTime settle_until = m.engine().Now() + Sec(3);
+    m.engine().RunUntil([&] { return m.engine().Now() >= settle_until; });
+    total_events = m.engine().EventsProcessed();
+  }
+
+  size_t required_total = 0;
+  for (int i = 1; i <= 12; ++i) {
+    uint64_t point = total_events * static_cast<uint64_t>(i) / 13;
+    SCOPED_TRACE("crash@event " + std::to_string(point));
+    Machine m(cfg);
+    Proc p = m.MakeProc("u");
+    bool done = false;
+    m.engine().Spawn(StalenessOps(&m, &p, &log, &done), "w");
+    m.engine().RunUntil([&] { return m.engine().EventsProcessed() >= point; });
+    SimTime crash_time = m.engine().Now();
+    DiskImage img = m.CrashNow();
+    // Whatever the crash left behind must be repairable...
+    ASSERT_TRUE(RepairClean(&img)) << "async crash image not repairable";
+    // ...and every op older than the staleness window must have survived.
+    for (const OpRecord& op : log) {
+      if (crash_time - op.completed > staleness) {
+        ++required_total;
+        EXPECT_TRUE(ImageHasRootEntry(img, op.name))
+            << "/" << op.name << " completed " << (crash_time - op.completed)
+            << "ns before the crash (> staleness " << staleness << "ns) but was lost";
+      }
+    }
+  }
+  // The sweep must actually have exercised the invariant.
+  EXPECT_GT(required_total, 0u);
+}
+
+// --- 2. barrier semantics --------------------------------------------
+
+// Pre-barrier creates, one Fsync (the Async durability barrier), then
+// post-barrier churn that a crash is allowed to lose. Records the event
+// count at which Fsync returned (first run only).
+Task<void> BarrierOps(Machine* m, Proc* p, uint64_t* events_at_fsync, bool* done) {
+  co_await m->Boot(*p);
+  for (int i = 0; i < 8; ++i) {
+    (void)co_await m->fs().Create(*p, "/pre" + std::to_string(i));
+  }
+  Result<uint32_t> tag = co_await m->fs().Create(*p, "/pretag");
+  if (tag.Ok()) {
+    (void)co_await m->fs().Fsync(*p, tag.value());
+  }
+  if (*events_at_fsync == 0) {
+    *events_at_fsync = m->engine().EventsProcessed();
+  }
+  for (int i = 0; i < 8; ++i) {
+    (void)co_await m->fs().Create(*p, "/post" + std::to_string(i));
+  }
+  *done = true;
+}
+
+TEST(AsyncContractTest, CrashAfterFsyncPreservesPreBarrierMetadata) {
+  MachineConfig cfg = AsyncConfigFor();
+
+  uint64_t events_at_fsync = 0;
+  {
+    Machine m(cfg);
+    Proc p = m.MakeProc("u");
+    bool done = false;
+    m.engine().Spawn(BarrierOps(&m, &p, &events_at_fsync, &done), "w");
+    m.engine().RunUntil([&] { return done; });
+    ASSERT_TRUE(done);
+    ASSERT_GT(events_at_fsync, 0u);
+  }
+
+  // Crash exactly when Fsync returned, and at points shortly after
+  // (post-barrier churn partially on disk): the pre-barrier files are
+  // durable, so they must survive every later crash too.
+  for (uint64_t extra : {0u, 100u, 400u}) {
+    uint64_t point = events_at_fsync + extra;
+    SCOPED_TRACE("crash@event " + std::to_string(point) + " (fsync+" +
+                 std::to_string(extra) + ")");
+    Machine m(cfg);
+    Proc p = m.MakeProc("u");
+    uint64_t scratch = 1;  // Non-zero: re-runs must not re-record.
+    bool done = false;
+    m.engine().Spawn(BarrierOps(&m, &p, &scratch, &done), "w");
+    m.engine().RunUntil([&] { return m.engine().EventsProcessed() >= point; });
+    DiskImage img = m.CrashNow();
+    ASSERT_TRUE(RepairClean(&img)) << "async crash image not repairable";
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(ImageHasRootEntry(img, "pre" + std::to_string(i)))
+          << "/pre" << i << " lost although Fsync had returned before the crash";
+    }
+    EXPECT_TRUE(ImageHasRootEntry(img, "pretag"));
+  }
+}
+
+// --- 3. determinism --------------------------------------------------
+
+Task<void> ChurnThenShutdown(Machine* m, Proc* p, bool* done) {
+  co_await m->Boot(*p);
+  co_await PfsckChurn(*m, *p);
+  co_await m->Shutdown(*p);
+  *done = true;
+}
+
+struct RunOutput {
+  DiskImage img;
+  std::string stats;
+};
+
+RunOutput RunAsyncChurn(const MachineConfig& cfg) {
+  Machine m(cfg);
+  Proc p = m.MakeProc("u");
+  bool done = false;
+  m.engine().Spawn(ChurnThenShutdown(&m, &p, &done), "churn");
+  m.engine().RunUntil([&] { return done; });
+  EXPECT_TRUE(done);
+  return {m.CrashNow(), m.DumpStatsJson()};
+}
+
+TEST(AsyncContractTest, SameSeedIsByteIdenticalAcrossDepthsAndDisks) {
+  for (uint32_t disks : {1u, 4u}) {
+    for (uint32_t depth : {1u, 16u}) {
+      std::string context =
+          "disks=" + std::to_string(disks) + " depth=" + std::to_string(depth);
+      SCOPED_TRACE(context);
+      MachineConfig cfg = AsyncConfigFor(depth, disks);
+      RunOutput a = RunAsyncChurn(cfg);
+      RunOutput b = RunAsyncChurn(cfg);
+      EXPECT_EQ(a.stats, b.stats) << context;
+      ExpectImagesIdentical(a.img, b.img, context);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mufs

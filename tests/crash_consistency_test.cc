@@ -500,11 +500,13 @@ INSTANTIATE_TEST_SUITE_P(SafeSchemes, RenameRuleOneTest,
                            return std::string(SchemeName(info.param));
                          });
 
-// Rename crash sweep across ALL SIX schemes, each checked against its own
-// recovery model: the four ordered schemes must be fsck-clean raw;
-// No Order may corrupt but must be repairable; journaling must recover by
-// LOG REPLAY ALONE - zero fsck repairs at every crash point - and at
-// least one of the two names must survive on the replayed image.
+// Rename crash sweep across ALL schemes (kAllSchemes), each checked
+// against its own recovery model: the four ordered schemes must be
+// fsck-clean raw; No Order and Async may corrupt but must be repairable
+// (Async's extra bounded-staleness contract is proven in
+// async_contract_test); journaling must recover by LOG REPLAY ALONE -
+// zero fsck repairs at every crash point - and at least one of the two
+// names must survive on the replayed image.
 class RenameAllSchemesSweepTest : public ::testing::TestWithParam<Scheme> {};
 
 TEST_P(RenameAllSchemesSweepTest, EveryCrashPointRecovers) {
@@ -538,7 +540,7 @@ TEST_P(RenameAllSchemesSweepTest, EveryCrashPointRecovers) {
         EXPECT_TRUE(ImageHasRootEntry(img, "victim") || ImageHasRootEntry(img, "renamed"))
             << "crash@write " << w << ": both names lost after replay (rule 1)";
       }
-    } else if (scheme == Scheme::kNoOrder) {
+    } else if (scheme == Scheme::kNoOrder || scheme == Scheme::kAsync) {
       // No integrity guarantee; the operational model is a repairing fsck.
       FsckRepairReport repair = FsckRepairer(&img, fsck).Repair();
       EXPECT_TRUE(repair.clean_after) << "crash@write " << w << " not repairable";
@@ -556,9 +558,7 @@ TEST_P(RenameAllSchemesSweepTest, EveryCrashPointRecovers) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, RenameAllSchemesSweepTest,
-                         ::testing::Values(Scheme::kNoOrder, Scheme::kConventional,
-                                           Scheme::kSchedulerFlag, Scheme::kSchedulerChains,
-                                           Scheme::kSoftUpdates, Scheme::kJournaling),
+                         ::testing::ValuesIn(kAllSchemes),
                          [](const ::testing::TestParamInfo<Scheme>& info) {
                            return std::string(SchemeName(info.param));
                          });

@@ -10,9 +10,8 @@
 namespace mufs {
 namespace {
 
-const Scheme kAllSchemes[] = {Scheme::kNoOrder,         Scheme::kConventional,
-                              Scheme::kSchedulerFlag,   Scheme::kSchedulerChains,
-                              Scheme::kSoftUpdates,     Scheme::kJournaling};
+// Sweeps iterate mufs::kAllSchemes (machine.h), so a new scheme joins
+// the fault battery automatically.
 
 TEST(FaultInjectionTest, ZeroRateBehavesExactlyAsBefore) {
   TreeSpec tree = SmallFaultTree();

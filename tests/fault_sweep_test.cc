@@ -9,9 +9,7 @@
 namespace mufs {
 namespace {
 
-const Scheme kAllSchemes[] = {Scheme::kNoOrder,         Scheme::kConventional,
-                              Scheme::kSchedulerFlag,   Scheme::kSchedulerChains,
-                              Scheme::kSoftUpdates,     Scheme::kJournaling};
+// Sweeps iterate mufs::kAllSchemes (machine.h).
 
 TEST(FaultSweepTest, DenseSchemeRateSeedSweep) {
   TreeSpec tree = MediumFaultTree();

@@ -538,23 +538,9 @@ TEST_P(FsTest, ConcurrentUsersInSeparateDirs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, FsTest,
-                         ::testing::Values(Scheme::kNoOrder, Scheme::kConventional,
-                                           Scheme::kSchedulerFlag, Scheme::kSchedulerChains,
-                                           Scheme::kSoftUpdates),
+                         ::testing::ValuesIn(kAllSchemes),
                          [](const ::testing::TestParamInfo<Scheme>& info) {
-                           switch (info.param) {
-                             case Scheme::kNoOrder:
-                               return std::string("NoOrder");
-                             case Scheme::kConventional:
-                               return std::string("Conventional");
-                             case Scheme::kSchedulerFlag:
-                               return std::string("SchedulerFlag");
-                             case Scheme::kSchedulerChains:
-                               return std::string("SchedulerChains");
-                             case Scheme::kSoftUpdates:
-                               return std::string("SoftUpdates");
-                           }
-                           return std::string("Unknown");
+                           return std::string(SchemeName(info.param));
                          });
 
 }  // namespace

@@ -81,12 +81,117 @@ void CheckGolden(Scheme scheme, const std::string& file, uint32_t disks = 1) {
       << "; if the change is intentional, regenerate with MUFS_REGEN_GOLDEN=1";
 }
 
+// Same tree and runner shapes for the Async remove/Andrew/Sdet goldens:
+// each returns the full DumpStatsJson of one deterministic run.
+
+std::string RunRemoveGoldenWorkload(Scheme scheme) {
+  TreeGenOptions opts;
+  opts.file_count = 30;
+  opts.total_bytes = 300'000;
+  opts.dir_count = 6;
+  TreeSpec tree = GenerateTree(opts);
+
+  MachineConfig cfg;
+  cfg.scheme = scheme;
+  Machine m(cfg);
+  SetupFn setup = [&tree](Machine& mm, Proc& p) -> Task<void> {
+    for (int u = 0; u < 2; ++u) {
+      FsStatus s = co_await PopulateTree(mm, p, tree, "/tree" + std::to_string(u));
+      EXPECT_EQ(s, FsStatus::kOk);
+    }
+  };
+  UserFn body = [&tree](Machine& mm, Proc& p, int u) -> Task<void> {
+    FsStatus s = co_await RemoveTree(mm, p, tree, "/tree" + std::to_string(u));
+    EXPECT_EQ(s, FsStatus::kOk);
+  };
+  RunMeasurement meas = RunMultiUser(m, 2, setup, body, /*drop_caches_after_setup=*/true);
+  return meas.stats_json;
+}
+
+std::string RunAndrewGoldenWorkload(Scheme scheme) {
+  TreeGenOptions opts;
+  opts.file_count = 30;
+  opts.total_bytes = 300'000;
+  opts.dir_count = 6;
+  TreeSpec tree = GenerateTree(opts);
+
+  MachineConfig cfg;
+  cfg.scheme = scheme;
+  Machine m(cfg);
+  SetupFn setup = [&tree](Machine& mm, Proc& p) -> Task<void> {
+    (void)co_await PopulateTree(mm, p, tree, "/andrew-src");
+  };
+  UserFn body = [&tree](Machine& mm, Proc& p, int) -> Task<void> {
+    (void)co_await AndrewBenchmark(mm, p, tree, "/andrew-src", "/andrew-work");
+  };
+  RunMeasurement meas = RunMultiUser(m, 1, setup, body);
+  return meas.stats_json;
+}
+
+std::string RunSdetGoldenWorkload(Scheme scheme) {
+  MachineConfig cfg;
+  cfg.scheme = scheme;
+  Machine m(cfg);
+  SetupFn setup = [](Machine&, Proc&) -> Task<void> { co_return; };
+  UserFn body = [](Machine& mm, Proc& p, int u) -> Task<void> {
+    FsStatus s = co_await SdetScript(mm, p, "/script" + std::to_string(u),
+                                     /*seed=*/1000 + static_cast<uint64_t>(u),
+                                     /*operations=*/120);
+    EXPECT_EQ(s, FsStatus::kOk);
+  };
+  RunMeasurement meas = RunMultiUser(m, 2, setup, body, /*drop_caches_after_setup=*/false);
+  return meas.stats_json;
+}
+
+void CheckNamedGolden(const std::string& actual, const std::string& file) {
+  ASSERT_FALSE(actual.empty());
+  std::string path = GoldenPath(file);
+  if (RegenMode()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual << "\n";
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with MUFS_REGEN_GOLDEN=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string expected = buf.str();
+  if (!expected.empty() && expected.back() == '\n') {
+    expected.pop_back();
+  }
+  EXPECT_EQ(actual, expected)
+      << "golden stats drifted for " << file
+      << "; if the change is intentional, regenerate with MUFS_REGEN_GOLDEN=1";
+}
+
 TEST(GoldenStatsTest, ConventionalCopyStatsMatchGolden) {
   CheckGolden(Scheme::kConventional, "conventional_copy_seed42.json");
 }
 
 TEST(GoldenStatsTest, SoftUpdatesCopyStatsMatchGolden) {
   CheckGolden(Scheme::kSoftUpdates, "soft_updates_copy_seed42.json");
+}
+
+// --- Async-scheme goldens: the full zero-fault async.* stats surface
+// (visibility/durability ledger depth, horizon lag, barrier accounting)
+// pinned byte-for-byte on the paper's four workload families.
+
+TEST(GoldenStatsTest, AsyncCopyStatsMatchGolden) {
+  CheckGolden(Scheme::kAsync, "async_copy_seed42.json");
+}
+
+TEST(GoldenStatsTest, AsyncRemoveStatsMatchGolden) {
+  CheckNamedGolden(RunRemoveGoldenWorkload(Scheme::kAsync), "async_remove_seed42.json");
+}
+
+TEST(GoldenStatsTest, AsyncAndrewStatsMatchGolden) {
+  CheckNamedGolden(RunAndrewGoldenWorkload(Scheme::kAsync), "async_andrew_seed42.json");
+}
+
+TEST(GoldenStatsTest, AsyncSdetStatsMatchGolden) {
+  CheckNamedGolden(RunSdetGoldenWorkload(Scheme::kAsync), "async_sdet_seed42.json");
 }
 
 // --disks=1 is required to be the EXACT pre-volume machine: the same
@@ -170,6 +275,27 @@ TEST(GoldenStatsTest, WebAssetSwapStatsMatchGolden) {
 TEST(GoldenStatsTest, CacheCleanupStatsMatchGolden) {
   CheckPersonalityGolden(Scheme::kJournaling, &CacheCleanupWorkload,
                          "cache_cleanup_journaling_seed42.json");
+}
+
+// All four personalities additionally pinned under Async: the ledger's
+// stats must stay deterministic across very different op mixes.
+
+TEST(GoldenStatsTest, MailServerAsyncStatsMatchGolden) {
+  CheckPersonalityGolden(Scheme::kAsync, &MailServerWorkload, "mail_async_seed42.json");
+}
+
+TEST(GoldenStatsTest, BuildFarmAsyncStatsMatchGolden) {
+  CheckPersonalityGolden(Scheme::kAsync, &BuildFarmWorkload, "build_farm_async_seed42.json");
+}
+
+TEST(GoldenStatsTest, WebAssetSwapAsyncStatsMatchGolden) {
+  CheckPersonalityGolden(Scheme::kAsync, &WebAssetSwapWorkload,
+                         "web_asset_async_seed42.json");
+}
+
+TEST(GoldenStatsTest, CacheCleanupAsyncStatsMatchGolden) {
+  CheckPersonalityGolden(Scheme::kAsync, &CacheCleanupWorkload,
+                         "cache_cleanup_async_seed42.json");
 }
 
 }  // namespace

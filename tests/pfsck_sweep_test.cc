@@ -26,9 +26,7 @@ struct SweepCase {
 
 std::vector<SweepCase> AllCases() {
   std::vector<SweepCase> cases;
-  for (Scheme scheme : {Scheme::kNoOrder, Scheme::kConventional, Scheme::kSchedulerFlag,
-                        Scheme::kSchedulerChains, Scheme::kSoftUpdates,
-                        Scheme::kJournaling}) {
+  for (Scheme scheme : kAllSchemes) {
     for (uint32_t disks : {1u, 2u, 4u}) {
       cases.push_back({scheme, disks,
                        std::string(SchemeName(scheme)) + "_" + std::to_string(disks) + "d"});

@@ -76,7 +76,9 @@ INSTANTIATE_TEST_SUITE_P(
                       EquivCase{Scheme::kSoftUpdates, 1, "SoftUpdates-1d"},
                       EquivCase{Scheme::kSoftUpdates, 2, "SoftUpdates-2d"},
                       EquivCase{Scheme::kJournaling, 1, "Journaling-1d"},
-                      EquivCase{Scheme::kJournaling, 2, "Journaling-2d"}),
+                      EquivCase{Scheme::kJournaling, 2, "Journaling-2d"},
+                      EquivCase{Scheme::kAsync, 1, "Async-1d"},
+                      EquivCase{Scheme::kAsync, 2, "Async-2d"}),
     [](const auto& info) {
       std::string n = info.param.name;
       for (char& ch : n) {

@@ -212,9 +212,7 @@ TEST_P(MultiDiskSchemeTest, FourDiskFineStripedMachineRunsClean) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, MultiDiskSchemeTest,
-                         ::testing::Values(Scheme::kNoOrder, Scheme::kConventional,
-                                           Scheme::kSchedulerFlag, Scheme::kSchedulerChains,
-                                           Scheme::kSoftUpdates, Scheme::kJournaling),
+                         ::testing::ValuesIn(kAllSchemes),
                          [](const ::testing::TestParamInfo<Scheme>& info) {
                            return std::string(SchemeName(info.param));
                          });
